@@ -1,0 +1,16 @@
+// Command eve-area prints the circuits evaluation (§VI) and the geometry
+// taxonomy (§II): area overheads, cycle times, Fig 1 layout facts and the
+// Fig 2 latency/throughput sweep measured from the micro-program ROM.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/report"
+)
+
+func main() {
+	fmt.Println(report.Area())
+	fmt.Println(report.Fig1())
+	fmt.Println(report.Fig2())
+}

@@ -1,0 +1,146 @@
+// Command eve-figures regenerates the paper's tables and figures from the
+// simulator. With no flags it prints everything; -exp selects one of:
+// table1, table2, table3, table4, fig1, fig2, fig4, fig6, fig7, fig8, area.
+//
+//	eve-figures -exp=fig6          # speedup-over-IO sweep (slow: full matrix)
+//	eve-figures -exp=fig2          # taxonomy sweep (fast, no workload runs)
+//	eve-figures -small             # use reduced inputs for a quick pass
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	ieve "repro/internal/eve"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// jsonResult is the machine-readable form of one (kernel, system) cell.
+type jsonResult struct {
+	Kernel        string           `json:"kernel"`
+	System        string           `json:"system"`
+	Cycles        int64            `json:"cycles"`
+	SpeedupVsIO   float64          `json:"speedup_vs_io"`
+	DynamicInstrs uint64           `json:"dynamic_instrs"`
+	TotalOps      uint64           `json:"total_ops"`
+	VMUStallFrac  float64          `json:"vmu_stall_frac,omitempty"`
+	SpawnCost     int64            `json:"spawn_cost,omitempty"`
+	EnergyReadEq  float64          `json:"energy_read_eq,omitempty"`
+	Breakdown     map[string]int64 `json:"breakdown,omitempty"`
+}
+
+func emitJSON(results [][]sim.Result) {
+	var out []jsonResult
+	for _, kr := range results {
+		io := float64(kr[0].Cycles)
+		for _, r := range kr {
+			jr := jsonResult{
+				Kernel:        r.Kernel,
+				System:        r.System,
+				Cycles:        r.Cycles,
+				SpeedupVsIO:   io / float64(r.Cycles),
+				DynamicInstrs: r.Mix.DynamicInstrs(),
+				TotalOps:      r.Mix.TotalOps(),
+				VMUStallFrac:  r.VMUStall,
+				SpawnCost:     r.SpawnCost,
+				EnergyReadEq:  r.EnergyEq,
+			}
+			if r.Breakdown.Total() > 0 {
+				jr.Breakdown = map[string]int64{}
+				for c := ieve.Category(0); c < ieve.NumCategories; c++ {
+					if r.Breakdown[c] != 0 {
+						jr.Breakdown[c.String()] = r.Breakdown[c]
+					}
+				}
+			}
+			out = append(out, jr)
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "eve-figures:", err)
+		os.Exit(1)
+	}
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to regenerate (table1..4, fig1..8, energy, area, all)")
+	small := flag.Bool("small", false, "use reduced workload sizes")
+	asJSON := flag.Bool("json", false, "emit the raw result matrix as JSON instead of rendered tables")
+	flag.Parse()
+
+	static := map[string]func() string{
+		"table1": report.TableI,
+		"table2": report.TableII,
+		"table3": report.TableIII,
+		"fig1":   report.Fig1,
+		"fig2":   report.Fig2,
+		"fig3":   report.Fig3,
+		"fig4":   func() string { return report.Fig4(8) },
+		"fig5":   report.Fig5,
+		"area":   report.Area,
+	}
+	needsMatrix := map[string]bool{"table4": true, "fig6": true, "fig7": true, "fig8": true, "energy": true, "all": true}
+
+	which := strings.ToLower(*exp)
+	if f, ok := static[which]; ok {
+		fmt.Println(f())
+		return
+	}
+	if !needsMatrix[which] {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", which)
+		os.Exit(2)
+	}
+
+	kernels := workloads.Default()
+	if *small {
+		kernels = workloads.Small()
+	}
+	systems := sim.AllSystems()
+	fmt.Fprintf(os.Stderr, "simulating %d kernels x %d systems...\n", len(kernels), len(systems))
+	results := sim.Matrix(systems, kernels)
+	for _, kr := range results {
+		for _, r := range kr {
+			if r.Err != nil {
+				fmt.Fprintf(os.Stderr, "VALIDATION FAILURE: %s on %s: %v\n", r.Kernel, r.System, r.Err)
+				os.Exit(1)
+			}
+		}
+	}
+	if *asJSON {
+		emitJSON(results)
+		return
+	}
+	geo := func(kernel string) bool {
+		k, err := workloads.ByName(kernels, kernel)
+		return err == nil && k.InGeomean()
+	}
+
+	out := map[string]func() string{
+		"table4": func() string { return report.TableIV(systems, results) },
+		"fig6":   func() string { return report.Fig6(systems, results, geo) },
+		"fig7":   func() string { return report.Fig7(systems, results) },
+		"fig8":   func() string { return report.Fig8(systems, results) },
+		"energy": func() string { return report.Energy(systems, results) },
+	}
+	if which == "all" {
+		for _, name := range []string{"table1", "table2", "table3", "fig1", "fig2", "fig3", "fig4", "fig5", "area"} {
+			fmt.Println(static[name]())
+		}
+		for _, name := range []string{"fig6", "table4", "fig7", "fig8", "energy"} {
+			fmt.Println(out[name]())
+		}
+		fmt.Println(report.AreaNormalized(systems, results, geo))
+		return
+	}
+	fmt.Println(out[which]())
+	if which == "fig6" {
+		fmt.Println(report.AreaNormalized(systems, results, geo))
+	}
+}

@@ -1,0 +1,104 @@
+// Command eve-trace runs a benchmark kernel on an EVE design and dumps the
+// per-instruction timeline as CSV: disassembly, commit time, VCU dispatch
+// slot, engine clock, and any core-blocking time — the raw material for
+// pipeline-style analysis of the Fig 7 categories.
+//
+//	eve-trace -n=8 -kernel=pathfinder -limit=40
+//	eve-trace -n=1 -kernel=mmult -csv > trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cpu"
+	ieve "repro/internal/eve"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/workloads"
+)
+
+type traceSink struct {
+	core   *cpu.Core
+	engine *ieve.Engine
+}
+
+func (s *traceSink) Emit(ev isa.Event) {
+	switch ev.Kind {
+	case isa.EvScalar:
+		s.core.Ops(ev.N)
+	case isa.EvScalarMul:
+		s.core.Muls(ev.N)
+	case isa.EvLoad:
+		s.core.Load(ev.Addr)
+	case isa.EvStore:
+		s.core.Store(ev.Addr)
+	case isa.EvVector:
+		if block := s.engine.Handle(ev.V, s.core.Now()); block > 0 {
+			s.core.AdvanceTo(block)
+		}
+	}
+}
+
+func main() {
+	n := flag.Int("n", 8, "EVE parallelization factor")
+	kernel := flag.String("kernel", "vvadd", "benchmark kernel")
+	limit := flag.Int("limit", 50, "max trace lines to print (0 = all)")
+	csv := flag.Bool("csv", false, "machine-readable CSV output")
+	flag.Parse()
+
+	ks := workloads.Small()
+	k, err := workloads.ByName(ks, *kernel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eve-trace:", err)
+		os.Exit(1)
+	}
+
+	h := mem.NewHierarchy()
+	core := cpu.New(cpu.O3Config, h)
+	engine := ieve.New(ieve.DefaultConfig(*n), h.LLC)
+	engine.Spawn(h.SpawnEVE(), 0)
+
+	printed := 0
+	if *csv {
+		fmt.Println("seq,asm,vl,arrival,vcu,vsu_clock,core_block")
+	}
+	engine.SetTracer(func(te ieve.TraceEntry) {
+		if *limit > 0 && printed >= *limit {
+			return
+		}
+		printed++
+		if *csv {
+			fmt.Printf("%d,%q,%d,%d,%d,%d,%d\n",
+				te.Seq, te.Asm, te.VL, te.Arrival, te.VCU, te.VSUClock, te.Block)
+		} else {
+			fmt.Printf("%5d  %-34s vl=%-5d commit=%-8d vcu=%-8d vsu=%-8d block=%d\n",
+				te.Seq, te.Asm, te.VL, te.Arrival, te.VCU, te.VSUClock, te.Block)
+		}
+	})
+
+	b := isa.NewBuilder(mem.NewFlat(64<<20), engine.HWVL(), &traceSink{core: core, engine: engine})
+	check := k.Run(b, true)
+	if err := check(); err != nil {
+		fmt.Fprintln(os.Stderr, "eve-trace: validation failed:", err)
+		os.Exit(1)
+	}
+	total := engine.Drain()
+	if c := core.Now(); c > total {
+		total = c
+	}
+	if !*csv {
+		fmt.Printf("\n%s on EVE-%d: %d cycles total", k.Name, *n, total)
+		if *limit > 0 {
+			fmt.Printf(" (first %d instructions shown)", printed)
+		}
+		fmt.Println()
+		bd := engine.Breakdown()
+		for c := ieve.Category(0); c < ieve.NumCategories; c++ {
+			if bd[c] > 0 {
+				fmt.Printf("  %-14s %10d (%.1f%%)\n", c, bd[c], 100*float64(bd[c])/float64(bd.Total()))
+			}
+		}
+	}
+}

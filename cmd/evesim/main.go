@@ -1,0 +1,91 @@
+// Command evesim runs one benchmark kernel on one simulated system and
+// prints the cycle count, instruction characterization and (for EVE) the
+// execution-time breakdown.
+//
+//	evesim -system=O3+EVE-8 -kernel=pathfinder
+//	evesim -system=O3+DV -kernel=sw -baseline=IO
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/eve"
+)
+
+func main() {
+	sysName := flag.String("system", "O3+EVE-8", "system to simulate (IO, O3, O3+IV, O3+DV, O3+EVE-{1,2,4,8,16,32})")
+	kernel := flag.String("kernel", "vvadd", "benchmark kernel (vvadd, mmult, k-means, pathfinder, jacobi-2d, backprop, sw)")
+	baseline := flag.String("baseline", "IO", "baseline system for the speedup report (empty to skip)")
+	flag.Parse()
+
+	sys, err := parseSystem(*sysName)
+	if err != nil {
+		fatal(err)
+	}
+	b, err := eve.BenchmarkByName(*kernel)
+	if err != nil {
+		fatal(err)
+	}
+
+	res, err := eve.Simulate(sys, b)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("kernel        %s (%s)\n", b.Name(), b.Input())
+	fmt.Printf("system        %s (area %.2fx of O3)\n", res.System, sys.AreaFactor())
+	fmt.Printf("cycles        %d\n", res.Cycles)
+	fmt.Printf("dyn. instrs   %d (%.0f%% vector)\n", res.DynamicInstrs, 100*res.VectorPct)
+	fmt.Printf("total ops     %d\n", res.TotalOps)
+	if res.Breakdown != nil {
+		fmt.Printf("spawn cost    %d cycles\n", res.SpawnCost)
+		fmt.Printf("vmu stalls    %.1f%% of time (Fig 8 metric)\n", 100*res.VMUStallFraction)
+		fmt.Println("breakdown (Fig 7 categories):")
+		type kv struct {
+			k string
+			v int64
+		}
+		var rows []kv
+		var total int64
+		for k, v := range res.Breakdown {
+			rows = append(rows, kv{k, v})
+			total += v
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].v > rows[j].v })
+		for _, r := range rows {
+			if r.v == 0 {
+				continue
+			}
+			fmt.Printf("  %-14s %12d  (%.1f%%)\n", r.k, r.v, 100*float64(r.v)/float64(total))
+		}
+	}
+	if *baseline != "" && *baseline != *sysName {
+		bSys, err := parseSystem(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		bRes, err := eve.Simulate(bSys, b)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("speedup       %.2fx over %s (%d cycles)\n",
+			res.Speedup(bRes), bRes.System, bRes.Cycles)
+	}
+}
+
+func parseSystem(name string) (eve.System, error) {
+	for _, s := range eve.Systems() {
+		if strings.EqualFold(s.Name(), name) {
+			return s, nil
+		}
+	}
+	return eve.System{}, fmt.Errorf("unknown system %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "evesim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,42 @@
+package eve_test
+
+import (
+	"fmt"
+
+	"repro/eve"
+)
+
+// Simulate one of the paper's benchmarks on the headline design point and
+// compare against the in-order baseline.
+func ExampleSimulate() {
+	b, _ := eve.BenchmarkByName("vvadd")
+	io, _ := eve.Simulate(eve.IO, b)
+	e8, _ := eve.Simulate(eve.EVE(8), b)
+	fmt.Printf("EVE-8 runs %s %.0fx faster than the in-order core\n",
+		b.Name(), e8.Speedup(io))
+	// Output: EVE-8 runs vvadd 31x faster than the in-order core
+}
+
+// Program an ephemeral engine directly with RVV-style intrinsics.
+func ExampleNewMachine() {
+	m := eve.NewMachine(eve.EVE(4), 1<<20)
+	x := m.AllocWords(100)
+	for i := 0; i < 100; i++ {
+		m.WriteWord(x+uint64(4*i), uint32(i))
+	}
+	m.SetVL(100)
+	m.Load(1, x)
+	m.AddVX(2, 1, 1000) // v2 = v1 + 1000
+	m.Store(2, x)
+	m.Fence()
+	res := m.Finish()
+	fmt.Printf("x[99] = %d after %t simulation\n", m.ReadWord(x+99*4), res.Cycles > 0)
+	// Output: x[99] = 1099 after true simulation
+}
+
+// The circuit-evaluation models are available without running workloads.
+func ExampleAreaOverhead() {
+	fmt.Printf("EVE-8 costs %.1f%% of the L2 and cycles at %.3fns\n",
+		100*eve.AreaOverhead(8), eve.CycleTimeNS(8))
+	// Output: EVE-8 costs 11.7% of the L2 and cycles at 1.025ns
+}

@@ -1,0 +1,95 @@
+// Genomics: Smith-Waterman local alignment vectorized along anti-diagonals,
+// comparing the ephemeral engine against the dedicated decoupled vector
+// engine — the paper's headline trade: comparable speed at a fraction of the
+// silicon.
+//
+//	go run ./examples/genomics
+package main
+
+import (
+	"fmt"
+
+	"repro/eve"
+)
+
+const (
+	seqLen   = 512
+	match    = 2
+	mismatch = ^uint32(0) // -1
+	gap      = 1
+)
+
+// align runs the DP and returns the best local-alignment score plus timing.
+func align(sys eve.System, a, b []uint32) (uint32, eve.Result) {
+	n := len(a) - 1
+	m := eve.NewMachine(sys, 64<<20)
+	seqA := m.AllocWords(n + 1)
+	seqB := m.AllocWords(n + 1)
+	buf := [3]uint64{m.AllocWords(n + 2), m.AllocWords(n + 2), m.AllocWords(n + 2)}
+	for i := 1; i <= n; i++ {
+		m.WriteWord(seqA+uint64(4*i), a[i])
+		m.WriteWord(seqB+uint64(4*i), b[i])
+	}
+	m.SetVL(1)
+	m.MvVX(14, 0) // running maximum
+	for d := 2; d <= 2*n; d++ {
+		prev2, prev1, cur := buf[d%3], buf[(d+1)%3], buf[(d+2)%3]
+		lo, hi := max(1, d-n), min(n, d-1)
+		for i0 := lo; i0 <= hi; {
+			vl := m.SetVL(hi - i0 + 1)
+			m.Load(1, seqA+uint64(4*i0))
+			m.LoadStride(2, seqB+uint64(4*(d-i0)), -4)
+			m.MSeq(0, 1, 2)
+			m.MvVX(3, match)
+			m.MvVX(4, mismatch)
+			m.Merge(5, 3, 4)
+			m.Load(6, prev2+uint64(4*(i0-1)))
+			m.Add(7, 6, 5)
+			m.Load(8, prev1+uint64(4*(i0-1)))
+			m.SubVX(9, 8, gap)
+			m.Load(10, prev1+uint64(4*i0))
+			m.SubVX(11, 10, gap)
+			m.Max(12, 7, 9)
+			m.Max(12, 12, 11)
+			m.MaxVX(12, 12, 0)
+			m.Store(12, cur+uint64(4*i0))
+			m.RedMax(14, 12, 14)
+			m.ScalarOps(8)
+			i0 += vl
+		}
+		m.ScalarOps(4)
+	}
+	best := m.MvXS(14)
+	m.Fence()
+	return best, m.Finish()
+}
+
+func main() {
+	// Two synthetic DNA-like sequences over a 4-letter alphabet with a
+	// planted common region.
+	a := make([]uint32, seqLen+1)
+	b := make([]uint32, seqLen+1)
+	state := uint64(42)
+	next := func() uint32 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return uint32(state>>33) % 4
+	}
+	for i := 1; i <= seqLen; i++ {
+		a[i], b[i] = next(), next()
+	}
+	copy(b[100:160], a[200:260]) // 60-base shared region
+
+	fmt.Printf("Smith-Waterman, %d x %d, match=+%d mismatch=-1 gap=-%d\n\n", seqLen, seqLen, match, gap)
+	var ref uint32
+	for _, sys := range []eve.System{eve.O3DV, eve.EVE(8), eve.EVE(16)} {
+		score, res := align(sys, a, b)
+		if ref == 0 {
+			ref = score
+		} else if score != ref {
+			panic("systems disagree on the alignment score")
+		}
+		fmt.Printf("%-9s score=%-5d cycles=%-10d area=%.2fx of O3\n",
+			sys.Name(), score, res.Cycles, sys.AreaFactor())
+	}
+	fmt.Printf("\nthe planted 60-base region guarantees a score ≥ %d\n", 60*match-0)
+}

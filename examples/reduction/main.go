@@ -1,0 +1,74 @@
+// Reduction: dot products through the vector reduction unit (VRU) across
+// all systems, plus a demonstration of EVE's ephemerality — spawning costs a
+// linear pass over the partitioned ways' resident lines, tearing down is
+// free (§V-E).
+//
+//	go run ./examples/reduction
+package main
+
+import (
+	"fmt"
+
+	"repro/eve"
+)
+
+const n = 1 << 17
+
+func dot(sys eve.System, warm bool) (uint32, eve.Result) {
+	m := eve.NewMachine(sys, 32<<20)
+	x := m.AllocWords(n)
+	y := m.AllocWords(n)
+	for i := 0; i < n; i++ {
+		m.WriteWord(x+uint64(4*i), uint32(i%97))
+		m.WriteWord(y+uint64(4*i), uint32(i%89))
+	}
+	// Warm the caches with a scalar pass when requested, to surface the
+	// spawn-cost difference.
+	if warm {
+		for i := 0; i < n; i += 16 {
+			m.ScalarLoad(x + uint64(4*i))
+		}
+	}
+	m.SetVL(1)
+	m.MvVX(10, 0) // accumulator element
+	for i := 0; i < n; {
+		vl := m.SetVL(n - i)
+		off := uint64(4 * i)
+		m.Load(1, x+off)
+		m.Load(2, y+off)
+		m.Mul(3, 1, 2)
+		m.RedSum(10, 3, 10)
+		m.ScalarOps(5)
+		i += vl
+	}
+	sum := m.MvXS(10)
+	m.Fence()
+	return sum, m.Finish()
+}
+
+func main() {
+	// Reference result.
+	var want uint32
+	for i := 0; i < n; i++ {
+		want += uint32(i%97) * uint32(i%89)
+	}
+	fmt.Printf("dot product of %d elements (expect %d)\n\n", n, want)
+	fmt.Printf("%-10s %-12s %-10s %s\n", "system", "cycles", "sum ok", "notes")
+	for _, sys := range []eve.System{eve.O3IV, eve.O3DV, eve.EVE(4), eve.EVE(8), eve.EVE(32)} {
+		sum, res := dot(sys, false)
+		note := ""
+		if sys.IsEVE() {
+			note = fmt.Sprintf("vru busy %.0f%%, spawn %d cycles",
+				100*float64(res.Breakdown["vru_stall"])/float64(res.Cycles), res.SpawnCost)
+		}
+		fmt.Printf("%-10s %-12d %-10v %s\n", sys.Name(), res.Cycles, sum == want, note)
+	}
+
+	// Ephemerality: spawning over a warm (dirty) L2 pays for the
+	// invalidations; over a cold L2 it is free.
+	_, cold := dot(eve.EVE(8), false)
+	_, warm := dot(eve.EVE(8), true)
+	fmt.Printf("\nspawn cost, cold L2: %d cycles; after warming the cache: %d cycles\n",
+		cold.SpawnCost, warm.SpawnCost)
+	fmt.Println("teardown is always free: the ways return to the cache invalid (§V-E)")
+}

@@ -1,0 +1,166 @@
+// Package analytic holds EVE's closed-form models: the §II
+// latency/throughput taxonomy of vector S-CIM (Fig 2), and the §VI circuit
+// evaluation — area overheads, cycle times and energy ratios measured from
+// the paper's OpenRAM 28nm layouts, encoded here as constants since layout
+// measurement is an input to the architecture study, not something a
+// functional simulator can derive.
+package analytic
+
+import (
+	"fmt"
+
+	"repro/internal/uprog"
+	"repro/internal/vreg"
+)
+
+// Factors is the set of parallelization factors EVE supports.
+var Factors = []int{1, 2, 4, 8, 16, 32}
+
+// Cycle-time model (§VI-B): the vanilla 256×128 sub-array cycles at 1.025ns;
+// bit-hybrid peripheries with n ≤ 8 fit in the same cycle, 16-bit-hybrid
+// pays ~15% and 32-bit (bit-parallel) ~51%.
+const (
+	BaseCycleNS   = 1.025
+	Cycle16NS     = 1.175
+	Cycle32NS     = 1.55
+	BLCEnergyMult = 1.20 // blc energy vs. a vanilla read (§VI-B)
+)
+
+// CycleTimeNS reports the EVE-n SRAM cycle time in nanoseconds.
+func CycleTimeNS(n int) float64 {
+	switch {
+	case n <= 8:
+		return BaseCycleNS
+	case n == 16:
+		return Cycle16NS
+	default:
+		return Cycle32NS
+	}
+}
+
+// ClockPenalty reports the cycle-time ratio of EVE-n to the baseline clock,
+// the factor by which μop counts inflate when expressed in core cycles.
+func ClockPenalty(n int) float64 { return CycleTimeNS(n) / BaseCycleNS }
+
+// Per-sub-array area overheads (§VI-B), as fractions of a vanilla sub-array.
+const (
+	SimplifiedOverhead = 0.082 // simplified EVE SRAM measured from layout
+	Serial1Overhead    = 0.090 // EVE-1 full stack estimate
+	HybridOverhead     = 0.156 // EVE-n (2..16) full stack estimate
+	Parallel32Overhead = 0.126 // EVE-32 full stack estimate
+)
+
+// SRAMOverhead reports the per-EVE-SRAM area overhead: the stack overhead
+// halves because an EVE SRAM banks two sub-arrays behind one periphery.
+func SRAMOverhead(n int) float64 {
+	switch {
+	case n == 1:
+		return Serial1Overhead / 2 // 4.5%
+	case n == 32:
+		return Parallel32Overhead / 2 // 6.3%
+	default:
+		return HybridOverhead / 2 // 7.8%
+	}
+}
+
+// System-level composition (§VII-B): the L2 holds 64 sub-arrays, half of
+// which become EVE SRAMs; EVE adds 8 DTUs of half a sub-array each plus one
+// sub-array of micro-program ROM.
+const (
+	L2SubArrays     = 64
+	DTUCount        = 8
+	DTUSubArrayEq   = 0.5
+	ROMSubArrayEq   = 1.0
+	EVEWaysFraction = 0.5
+)
+
+// StructuralOverhead reports the added sub-array-equivalents as a fraction
+// of the L2's sub-arrays: the paper's 7.8% "increase in the number of
+// sub-arrays".
+func StructuralOverhead() float64 {
+	return (float64(DTUCount)*DTUSubArrayEq + ROMSubArrayEq) / float64(L2SubArrays)
+}
+
+// TotalOverhead reports EVE-n's total L2 area overhead: circuit overhead on
+// the EVE half of the ways plus the structural additions. EVE-8 comes to
+// 11.7% (§VII-B).
+func TotalOverhead(n int) float64 {
+	return SRAMOverhead(n)*EVEWaysFraction + StructuralOverhead()
+}
+
+// System-level area factors relative to the bare O3 core (§VII-B, "Area
+// Efficiency Analysis").
+func SystemAreaFactor(system string) float64 {
+	switch system {
+	case "O3", "IO":
+		return 1.00
+	case "O3+IV":
+		return 1.10
+	case "O3+DV":
+		return 2.00
+	case "O3+EVE-1":
+		return 1.10
+	case "O3+EVE-32":
+		return 1.11
+	case "O3+EVE-2", "O3+EVE-4", "O3+EVE-8", "O3+EVE-16":
+		return 1.12
+	default:
+		panic(fmt.Sprintf("analytic: unknown system %q", system))
+	}
+}
+
+// Fig2Row is one point of the Fig 2 sweep: latency and throughput of vector
+// add and multiply at one parallelization factor, normalized to factor 1.
+type Fig2Row struct {
+	N       int
+	ALUs    int // in-situ ALUs per array (Fig 2 x-axis annotation)
+	AddLat  int // measured μprogram cycles
+	MulLat  int
+	AddLatN float64 // latency normalized to N=1
+	MulLatN float64
+	AddThpN float64 // throughput normalized to N=1
+	MulThpN float64
+}
+
+// Fig2 computes the latency/throughput sweep of Fig 2 using the *measured*
+// cycle counts of the actual micro-programs (internal/uprog) and the array
+// geometry of internal/vreg — the analytical model grounded in the
+// implemented circuits rather than abstract formulas.
+func Fig2() []Fig2Row {
+	type point struct{ add, mul, alus int }
+	pts := make(map[int]point, len(Factors))
+	for _, n := range Factors {
+		m := uprog.NewMachine(n, 2)
+		add := m.CountCycles(uprog.Add(m.Layout, 3, 1, 2, false))
+		mul := m.CountCycles(uprog.Mul(m.Layout, 3, 1, 2, false, false))
+		pts[n] = point{add: add, mul: mul, alus: vreg.Standard(n).InSituALUs()}
+	}
+	base := pts[1]
+	rows := make([]Fig2Row, 0, len(Factors))
+	for _, n := range Factors {
+		p := pts[n]
+		rows = append(rows, Fig2Row{
+			N:       n,
+			ALUs:    p.alus,
+			AddLat:  p.add,
+			MulLat:  p.mul,
+			AddLatN: float64(p.add) / float64(base.add),
+			MulLatN: float64(p.mul) / float64(base.mul),
+			AddThpN: (float64(p.alus) / float64(p.add)) / (float64(base.alus) / float64(base.add)),
+			MulThpN: (float64(p.alus) / float64(p.mul)) / (float64(base.alus) / float64(base.mul)),
+		})
+	}
+	return rows
+}
+
+// PeakThroughputFactor reports the parallelization factor with the highest
+// add throughput — the balanced-utilization point, PF=4 in the paper.
+func PeakThroughputFactor() int {
+	best, bestT := 1, 0.0
+	for _, r := range Fig2() {
+		if r.AddThpN > bestT {
+			best, bestT = r.N, r.AddThpN
+		}
+	}
+	return best
+}

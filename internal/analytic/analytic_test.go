@@ -1,0 +1,108 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(got, want, tol float64) bool { return math.Abs(got-want) <= tol }
+
+// TestPaperAreaNumbers pins the §VI-B / §VII-B area figures.
+func TestPaperAreaNumbers(t *testing.T) {
+	if !approx(SRAMOverhead(1), 0.045, 1e-9) {
+		t.Errorf("EVE-1 SRAM overhead = %.3f, want 0.045", SRAMOverhead(1))
+	}
+	if !approx(SRAMOverhead(8), 0.078, 1e-9) {
+		t.Errorf("EVE-8 SRAM overhead = %.3f, want 0.078", SRAMOverhead(8))
+	}
+	if !approx(SRAMOverhead(32), 0.063, 1e-9) {
+		t.Errorf("EVE-32 SRAM overhead = %.3f, want 0.063", SRAMOverhead(32))
+	}
+	if !approx(StructuralOverhead(), 0.078125, 1e-9) {
+		t.Errorf("structural overhead = %.4f, want 5/64", StructuralOverhead())
+	}
+	// EVE-8 total: 7.8%/2 + 7.8% ≈ 11.7%.
+	if got := TotalOverhead(8); !approx(got, 0.117, 0.001) {
+		t.Errorf("EVE-8 total overhead = %.4f, want ≈0.117", got)
+	}
+}
+
+func TestCycleTimes(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8} {
+		if CycleTimeNS(n) != BaseCycleNS {
+			t.Errorf("EVE-%d cycle time should be the base 1.025ns", n)
+		}
+	}
+	if !approx(ClockPenalty(16), 1.175/1.025, 1e-9) {
+		t.Errorf("EVE-16 clock penalty = %f", ClockPenalty(16))
+	}
+	if !approx(ClockPenalty(32), 1.55/1.025, 1e-9) {
+		t.Errorf("EVE-32 clock penalty = %f", ClockPenalty(32))
+	}
+}
+
+func TestSystemAreaFactors(t *testing.T) {
+	cases := map[string]float64{
+		"O3": 1.0, "O3+IV": 1.10, "O3+DV": 2.00,
+		"O3+EVE-1": 1.10, "O3+EVE-8": 1.12, "O3+EVE-32": 1.11,
+	}
+	for sys, want := range cases {
+		if got := SystemAreaFactor(sys); got != want {
+			t.Errorf("area factor %s = %.2f, want %.2f", sys, got, want)
+		}
+	}
+}
+
+// TestFig2Shape checks the qualitative structure of Fig 2: latency strictly
+// decreases with the parallelization factor while throughput peaks at the
+// balanced-utilization point (PF=4) and falls on both sides.
+func TestFig2Shape(t *testing.T) {
+	rows := Fig2()
+	if len(rows) != 6 {
+		t.Fatalf("Fig2 has %d rows, want 6", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].AddLat >= rows[i-1].AddLat {
+			t.Errorf("add latency not decreasing: N=%d %d >= N=%d %d",
+				rows[i].N, rows[i].AddLat, rows[i-1].N, rows[i-1].AddLat)
+		}
+		if rows[i].MulLat >= rows[i-1].MulLat {
+			t.Errorf("mul latency not decreasing at N=%d", rows[i].N)
+		}
+	}
+	if got := PeakThroughputFactor(); got != 4 {
+		t.Errorf("peak throughput at PF=%d, want 4 (balanced utilization)", got)
+	}
+	// Throughput at the extremes is below the peak (both under-utilization
+	// regimes visible).
+	var peak, at1, at32 float64
+	for _, r := range rows {
+		switch r.N {
+		case 1:
+			at1 = r.AddThpN
+		case 4:
+			peak = r.AddThpN
+		case 32:
+			at32 = r.AddThpN
+		}
+	}
+	if peak <= at1 || peak <= at32 {
+		t.Errorf("throughput peak %.2f not above extremes (%.2f, %.2f)", peak, at1, at32)
+	}
+	// ALU annotations match Fig 2's parenthesized counts.
+	wantALUs := map[int]int{1: 64, 2: 64, 4: 64, 8: 32, 16: 16, 32: 8}
+	for _, r := range rows {
+		if r.ALUs != wantALUs[r.N] {
+			t.Errorf("N=%d ALUs = %d, want %d", r.N, r.ALUs, wantALUs[r.N])
+		}
+	}
+}
+
+// TestBitSerialMulThousandsOfCycles pins the duality-cache critique (§I):
+// bit-serial arithmetic takes thousands of cycles.
+func TestBitSerialMulThousandsOfCycles(t *testing.T) {
+	rows := Fig2()
+	if rows[0].N != 1 || rows[0].MulLat < 1000 {
+		t.Errorf("EVE-1 mul latency = %d, expected thousands of cycles", rows[0].MulLat)
+	}
+}

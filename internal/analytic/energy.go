@@ -1,0 +1,25 @@
+package analytic
+
+import "repro/internal/uop"
+
+// Array-energy weights in read-equivalents (§VI-B): reads and writes match
+// a vanilla SRAM access; bit-line compute costs ~20% more than a read;
+// peripheral-only operations (shifts, latch loads) involve neither sense
+// amplifiers nor bit-line precharge and cost a small fraction of a read.
+var energyWeights = [uop.NumEnergyClasses]float64{
+	uop.ECNone:   0,
+	uop.ECRead:   1.0,
+	uop.ECWrite:  1.0,
+	uop.ECBLC:    BLCEnergyMult,
+	uop.ECPeriph: 0.1,
+}
+
+// EnergyReadEq converts per-class μop counts into read-equivalent array
+// energy.
+func EnergyReadEq(counts [uop.NumEnergyClasses]uint64) float64 {
+	var e float64
+	for c, n := range counts {
+		e += energyWeights[c] * float64(n)
+	}
+	return e
+}

@@ -1,0 +1,382 @@
+// Package bitmat provides dense bit-matrix storage and word-parallel row
+// operations. It is the storage substrate for SRAM sub-array models: an SRAM
+// array is a bit matrix whose wordlines are rows and whose bitlines are
+// columns. Peripheral compute circuits operate column-wise, which maps onto
+// word-parallel operations over Row values (one bit per column).
+package bitmat
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// WordBits is the number of bits per storage word.
+const WordBits = 64
+
+// Row is a fixed-width vector of bits, one bit per SRAM column. Bit c of a
+// Row is column c of the array. All bitwise helpers treat receiver and
+// operands as having the same width; mixing widths is a programming error.
+type Row struct {
+	width int
+	w     []uint64
+}
+
+// NewRow returns an all-zero Row of the given width in bits.
+func NewRow(width int) Row {
+	if width <= 0 {
+		panic(fmt.Sprintf("bitmat: invalid row width %d", width))
+	}
+	return Row{width: width, w: make([]uint64, (width+WordBits-1)/WordBits)}
+}
+
+// Width reports the number of bit positions (columns) in the row.
+func (r Row) Width() int { return r.width }
+
+// Clone returns an independent copy of r.
+func (r Row) Clone() Row {
+	c := Row{width: r.width, w: make([]uint64, len(r.w))}
+	copy(c.w, r.w)
+	return c
+}
+
+// Bit reports the value of bit i.
+func (r Row) Bit(i int) bool {
+	r.check(i)
+	return r.w[i/WordBits]>>(uint(i)%WordBits)&1 == 1
+}
+
+// SetBit sets bit i to v.
+func (r Row) SetBit(i int, v bool) {
+	r.check(i)
+	if v {
+		r.w[i/WordBits] |= 1 << (uint(i) % WordBits)
+	} else {
+		r.w[i/WordBits] &^= 1 << (uint(i) % WordBits)
+	}
+}
+
+func (r Row) check(i int) {
+	if i < 0 || i >= r.width {
+		panic(fmt.Sprintf("bitmat: bit index %d out of range [0,%d)", i, r.width))
+	}
+}
+
+// Zero clears every bit of r in place.
+func (r Row) Zero() {
+	for i := range r.w {
+		r.w[i] = 0
+	}
+}
+
+// Fill sets every bit of r in place.
+func (r Row) Fill() {
+	for i := range r.w {
+		r.w[i] = ^uint64(0)
+	}
+	r.trim()
+}
+
+// trim clears bits beyond width in the last word, preserving the invariant
+// that unused high bits are zero.
+func (r Row) trim() {
+	rem := r.width % WordBits
+	if rem != 0 {
+		r.w[len(r.w)-1] &= (1 << uint(rem)) - 1
+	}
+}
+
+// CopyFrom overwrites r with the contents of src. Widths must match.
+func (r Row) CopyFrom(src Row) {
+	r.mustMatch(src)
+	copy(r.w, src.w)
+}
+
+func (r Row) mustMatch(o Row) {
+	if r.width != o.width {
+		panic(fmt.Sprintf("bitmat: width mismatch %d vs %d", r.width, o.width))
+	}
+}
+
+// And stores a AND b into r (r may alias a or b).
+func (r Row) And(a, b Row) {
+	r.mustMatch(a)
+	r.mustMatch(b)
+	for i := range r.w {
+		r.w[i] = a.w[i] & b.w[i]
+	}
+}
+
+// Or stores a OR b into r.
+func (r Row) Or(a, b Row) {
+	r.mustMatch(a)
+	r.mustMatch(b)
+	for i := range r.w {
+		r.w[i] = a.w[i] | b.w[i]
+	}
+}
+
+// Xor stores a XOR b into r.
+func (r Row) Xor(a, b Row) {
+	r.mustMatch(a)
+	r.mustMatch(b)
+	for i := range r.w {
+		r.w[i] = a.w[i] ^ b.w[i]
+	}
+}
+
+// AndNot stores a AND NOT b into r.
+func (r Row) AndNot(a, b Row) {
+	r.mustMatch(a)
+	r.mustMatch(b)
+	for i := range r.w {
+		r.w[i] = a.w[i] &^ b.w[i]
+	}
+}
+
+// Not stores NOT a into r.
+func (r Row) Not(a Row) {
+	r.mustMatch(a)
+	for i := range r.w {
+		r.w[i] = ^a.w[i]
+	}
+	r.trim()
+}
+
+// Mux stores, per bit, (sel ? a : b) into r.
+func (r Row) Mux(sel, a, b Row) {
+	r.mustMatch(sel)
+	r.mustMatch(a)
+	r.mustMatch(b)
+	for i := range r.w {
+		r.w[i] = (sel.w[i] & a.w[i]) | (^sel.w[i] & b.w[i])
+	}
+	r.trim()
+}
+
+// ShiftLeft stores a shifted left (toward higher bit indices) by k into r,
+// filling vacated low bits with zero. r must not alias a when k > 0 unless
+// r == a, which is handled.
+func (r Row) ShiftLeft(a Row, k int) {
+	r.mustMatch(a)
+	if k < 0 {
+		r.ShiftRight(a, -k)
+		return
+	}
+	if k >= r.width {
+		r.Zero()
+		return
+	}
+	wordShift, bitShift := k/WordBits, uint(k%WordBits)
+	for i := len(r.w) - 1; i >= 0; i-- {
+		var v uint64
+		if i-wordShift >= 0 {
+			v = a.w[i-wordShift] << bitShift
+			if bitShift > 0 && i-wordShift-1 >= 0 {
+				v |= a.w[i-wordShift-1] >> (WordBits - bitShift)
+			}
+		}
+		r.w[i] = v
+	}
+	r.trim()
+}
+
+// ShiftRight stores a shifted right (toward lower bit indices) by k into r,
+// filling vacated high bits with zero.
+func (r Row) ShiftRight(a Row, k int) {
+	r.mustMatch(a)
+	if k < 0 {
+		r.ShiftLeft(a, -k)
+		return
+	}
+	if k >= r.width {
+		r.Zero()
+		return
+	}
+	wordShift, bitShift := k/WordBits, uint(k%WordBits)
+	for i := range r.w {
+		var v uint64
+		if i+wordShift < len(a.w) {
+			v = a.w[i+wordShift] >> bitShift
+			if bitShift > 0 && i+wordShift+1 < len(a.w) {
+				v |= a.w[i+wordShift+1] << (WordBits - bitShift)
+			}
+		}
+		r.w[i] = v
+	}
+}
+
+// PopCount reports the number of set bits.
+func (r Row) PopCount() int {
+	n := 0
+	for _, w := range r.w {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Any reports whether any bit is set.
+func (r Row) Any() bool {
+	for _, w := range r.w {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports whether r and o hold identical bits.
+func (r Row) Equal(o Row) bool {
+	if r.width != o.width {
+		return false
+	}
+	for i := range r.w {
+		if r.w[i] != o.w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the row LSB-first as '0'/'1' characters, for debugging.
+func (r Row) String() string {
+	var b strings.Builder
+	b.Grow(r.width)
+	for i := 0; i < r.width; i++ {
+		if r.Bit(i) {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// Matrix is a rows × cols bit matrix with row-granularity access, modeling
+// the storage core of an SRAM sub-array (wordlines × bitlines).
+type Matrix struct {
+	rows, cols int
+	data       []Row
+}
+
+// NewMatrix returns a zeroed rows × cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("bitmat: invalid matrix dims %dx%d", rows, cols))
+	}
+	m := &Matrix{rows: rows, cols: cols, data: make([]Row, rows)}
+	for i := range m.data {
+		m.data[i] = NewRow(cols)
+	}
+	return m
+}
+
+// Rows reports the number of wordlines.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols reports the number of bitlines.
+func (m *Matrix) Cols() int { return m.cols }
+
+// Row returns the live Row for wordline i. Mutating the returned Row mutates
+// the matrix; callers needing a snapshot should Clone it.
+func (m *Matrix) Row(i int) Row {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("bitmat: row %d out of range [0,%d)", i, m.rows))
+	}
+	return m.data[i]
+}
+
+// WriteRow overwrites wordline i with src.
+func (m *Matrix) WriteRow(i int, src Row) {
+	m.Row(i).CopyFrom(src)
+}
+
+// WriteRowMasked overwrites only the columns of wordline i where mask bit is
+// set, leaving other columns untouched (a masked SRAM write).
+func (m *Matrix) WriteRowMasked(i int, src, mask Row) {
+	dst := m.Row(i)
+	dst.mustMatch(src)
+	dst.mustMatch(mask)
+	for w := range dst.w {
+		dst.w[w] = (src.w[w] & mask.w[w]) | (dst.w[w] &^ mask.w[w])
+	}
+}
+
+// Bit reports the bit at (row, col).
+func (m *Matrix) Bit(row, col int) bool { return m.Row(row).Bit(col) }
+
+// SetBit sets the bit at (row, col).
+func (m *Matrix) SetBit(row, col int, v bool) { m.Row(row).SetBit(col, v) }
+
+// Reset zeroes the whole matrix.
+func (m *Matrix) Reset() {
+	for _, r := range m.data {
+		r.Zero()
+	}
+}
+
+// GroupMask returns a Row with bits set for every column in group g when the
+// width is divided into contiguous groups of size n (column group g covers
+// columns [g*n, (g+1)*n)).
+func GroupMask(width, n, g int) Row {
+	r := NewRow(width)
+	for c := g * n; c < (g+1)*n && c < width; c++ {
+		r.SetBit(c, true)
+	}
+	return r
+}
+
+// LSBMask returns a Row with a bit set at the least-significant column of
+// every n-wide group (columns 0, n, 2n, ...).
+func LSBMask(width, n int) Row {
+	r := NewRow(width)
+	for c := 0; c < width; c += n {
+		r.SetBit(c, true)
+	}
+	return r
+}
+
+// MSBMask returns a Row with a bit set at the most-significant column of
+// every n-wide group (columns n-1, 2n-1, ...).
+func MSBMask(width, n int) Row {
+	r := NewRow(width)
+	for c := n - 1; c < width; c += n {
+		r.SetBit(c, true)
+	}
+	return r
+}
+
+// SpreadLSB copies the bit at each group's LSB column to every column of that
+// group, storing the result into r. It implements "the mask latch of the
+// group follows the LSB column" broadcast used by segment predication.
+func (r Row) SpreadLSB(a Row, n int) {
+	r.mustMatch(a)
+	if n == 1 {
+		r.CopyFrom(a)
+		return
+	}
+	tmp := a.Clone()
+	for c := 0; c < r.width; c += n {
+		v := tmp.Bit(c)
+		for k := 0; k < n && c+k < r.width; k++ {
+			r.SetBit(c+k, v)
+		}
+	}
+}
+
+// SpreadMSB copies the bit at each group's MSB column to every column of that
+// group, storing the result into r.
+func (r Row) SpreadMSB(a Row, n int) {
+	r.mustMatch(a)
+	if n == 1 {
+		r.CopyFrom(a)
+		return
+	}
+	tmp := a.Clone()
+	for c := 0; c < r.width; c += n {
+		v := tmp.Bit(c + n - 1)
+		for k := 0; k < n && c+k < r.width; k++ {
+			r.SetBit(c+k, v)
+		}
+	}
+}

@@ -1,0 +1,418 @@
+// Package circuits models EVE's peripheral circuit stacks (paper §III): the
+// logic layers added around a bit-line-compute-capable SRAM that turn it into
+// a vector execution unit. A Stack is configured at design time with a
+// parallelization factor n (EVE-1 bit-serial, EVE-32 bit-parallel, EVE-n
+// bit-hybrid): every n adjacent columns form a segment group processing one
+// n-bit segment of a 32-bit element per cycle.
+//
+// The layers modeled, following Fig 3(c)-(e):
+//
+//   - bus logic: source selection for writebacks (the Src multiplexer)
+//   - XOR/XNOR logic: derives xor/xnor from the sense amps' nand and or
+//   - add logic: an n-bit Manchester carry chain per segment group, with the
+//     inter-segment carry held in a latch (the XRegister in EVE-1, a spare
+//     shifter flip-flop in EVE-n)
+//   - XRegister: per-column flip-flops configured as a right-shift register
+//     spanning the group (n>1), used by multiplication and mask extraction
+//   - mask logic: a per-column latch gating writebacks and shifts
+//   - constant shifter: a loadable register supporting conditional one-bit
+//     shifts/rotates within the group (n>1)
+//   - spare shifter: carries bits across segment groups during multi-segment
+//     shifts, and holds the add carry (n>1)
+//
+// The stack executes one arithmetic μop (internal/uop) per cycle against its
+// SRAM array. Sequencing (loops, counters) lives in internal/uprog.
+package circuits
+
+import (
+	"fmt"
+
+	"repro/internal/bitmat"
+	"repro/internal/sram"
+	"repro/internal/uop"
+)
+
+// Env supplies the data_in port contents and collects data_out traffic for a
+// μop sequence. ExtRows are indexed by uop.ExtRef; Out accumulates every row
+// streamed out through DstDataOut in order.
+type Env struct {
+	ExtRows []bitmat.Row
+	Out     []bitmat.Row
+}
+
+// Ext returns external row i, panicking on out-of-range access (a μprogram
+// bug, not a data condition).
+func (e *Env) Ext(i int) bitmat.Row {
+	if e == nil || i < 0 || i >= len(e.ExtRows) {
+		panic(fmt.Sprintf("circuits: data_in row %d unavailable", i))
+	}
+	return e.ExtRows[i]
+}
+
+// Stack is the peripheral circuit stack of one EVE SRAM array.
+type Stack struct {
+	arr  *sram.Array
+	n    int
+	cols int
+
+	// XOR/XNOR layer outputs, valid while the sense amps hold a blc result.
+	xorV, xnorV bitmat.Row
+
+	// Add logic outputs: sum is combinational from the current blc result and
+	// the carry latch; pendingCout is the group carry-out awaiting commit by
+	// a writeback with Src = add.
+	sum         bitmat.Row
+	pendingCout bitmat.Row // at group LSB positions
+
+	// Latches.
+	carry  bitmat.Row // inter-segment add carry, one bit per group at its LSB column
+	xreg   bitmat.Row // XRegister contents
+	maskL  bitmat.Row // mask latches, one bit per column
+	cshift bitmat.Row // constant shifter contents
+	spare  bitmat.Row // spare shifter inter-segment bit, per group at its LSB column
+
+	// Precomputed geometry masks.
+	lsbMask, msbMask bitmat.Row
+	offMask          []bitmat.Row // offMask[j]: columns at offset j within each group
+
+	// Scratch rows, reused across μops to avoid allocation.
+	t0, t1, t2, t3 bitmat.Row
+
+	cycles uint64 // arithmetic μops executed
+}
+
+// NewStack builds the circuit stack for the given array and parallelization
+// factor n. n must divide both 32 and the array width.
+func NewStack(arr *sram.Array, n int) *Stack {
+	cols := arr.Cols()
+	if n <= 0 || 32%n != 0 {
+		panic(fmt.Sprintf("circuits: parallelization factor %d must divide 32", n))
+	}
+	if cols%n != 0 {
+		panic(fmt.Sprintf("circuits: array width %d not a multiple of n=%d", cols, n))
+	}
+	s := &Stack{
+		arr: arr, n: n, cols: cols,
+		xorV: bitmat.NewRow(cols), xnorV: bitmat.NewRow(cols),
+		sum: bitmat.NewRow(cols), pendingCout: bitmat.NewRow(cols),
+		carry: bitmat.NewRow(cols), xreg: bitmat.NewRow(cols),
+		maskL: bitmat.NewRow(cols), cshift: bitmat.NewRow(cols),
+		spare:   bitmat.NewRow(cols),
+		lsbMask: bitmat.LSBMask(cols, n), msbMask: bitmat.MSBMask(cols, n),
+		t0: bitmat.NewRow(cols), t1: bitmat.NewRow(cols),
+		t2: bitmat.NewRow(cols), t3: bitmat.NewRow(cols),
+	}
+	s.offMask = make([]bitmat.Row, n)
+	for j := 0; j < n; j++ {
+		m := bitmat.NewRow(cols)
+		for c := j; c < cols; c += n {
+			m.SetBit(c, true)
+		}
+		s.offMask[j] = m
+	}
+	// Mask latches power up enabled so unconditional operations need no setup.
+	s.maskL.Fill()
+	return s
+}
+
+// N reports the parallelization factor.
+func (s *Stack) N() int { return s.n }
+
+// Array returns the underlying SRAM array.
+func (s *Stack) Array() *sram.Array { return s.arr }
+
+// Cycles reports how many arithmetic μops the stack has executed.
+func (s *Stack) Cycles() uint64 { return s.cycles }
+
+// Mask returns the current mask latch contents (live; do not mutate).
+func (s *Stack) Mask() bitmat.Row { return s.maskL }
+
+// XReg returns the current XRegister contents (live; do not mutate).
+func (s *Stack) XReg() bitmat.Row { return s.xreg }
+
+// CShift returns the current constant shifter contents (live; do not mutate).
+func (s *Stack) CShift() bitmat.Row { return s.cshift }
+
+// Reset clears every latch and restores the power-up mask state. The SRAM
+// contents are untouched.
+func (s *Stack) Reset() {
+	for _, r := range []bitmat.Row{s.xorV, s.xnorV, s.sum, s.pendingCout,
+		s.carry, s.xreg, s.cshift, s.spare} {
+		r.Zero()
+	}
+	s.maskL.Fill()
+}
+
+// Exec executes one arithmetic μop with resolved row/ext indices. rowA, rowB
+// and rowD are the resolved wordlines for op.A, op.B and op.DstR; extIdx is
+// the resolved data_in index. The sequencer (internal/uprog) performs the
+// resolution; tests may call Exec directly with literal rows.
+func (s *Stack) Exec(op uop.Arith, rowA, rowB, rowD, extIdx int, env *Env) {
+	s.cycles++
+	switch op.Kind {
+	case uop.ANone:
+		// Idle slot.
+	case uop.ARead:
+		s.read(op, rowA, env)
+	case uop.AWrite:
+		val := s.selectSrc(op.Src, extIdx, env)
+		if op.Masked {
+			s.arr.WriteMasked(rowA, val, s.maskL)
+		} else {
+			s.arr.Write(rowA, val)
+		}
+	case uop.ABLC:
+		s.blc(rowA, rowB)
+	case uop.AWriteback:
+		s.writeback(op, rowD, extIdx, env)
+	case uop.ALShift:
+		s.shiftLeft(op.Masked)
+	case uop.ARShift:
+		s.shiftRight(op.Masked)
+	case uop.ALRotate:
+		s.rotateLeft(op.Masked)
+	case uop.ARRotate:
+		s.rotateRight(op.Masked)
+	case uop.AMaskShift:
+		s.maskShift()
+	default:
+		panic(fmt.Sprintf("circuits: unknown arith μop kind %v", op.Kind))
+	}
+}
+
+func (s *Stack) read(op uop.Arith, row int, env *Env) {
+	v := s.arr.Read(row)
+	switch op.Dst {
+	case uop.DstCShift:
+		s.cshift.CopyFrom(v)
+	case uop.DstXReg:
+		s.xreg.CopyFrom(v)
+	case uop.DstMask:
+		s.loadMask(v, op.Spread)
+	case uop.DstDataOut:
+		if env != nil {
+			env.Out = append(env.Out, v)
+		}
+	default:
+		panic(fmt.Sprintf("circuits: rd cannot target %v", op.Dst))
+	}
+}
+
+// blc performs the bit-line compute and drives the XOR/XNOR and add layers
+// combinationally from the sense outputs.
+func (s *Stack) blc(ra, rb int) {
+	s.arr.BitLineCompute(ra, rb)
+	// xor = nand AND or; xnor = its complement (§III: "the XOR/XNOR logic
+	// uses the nand and or values").
+	s.xorV.And(s.arr.Nand(), s.arr.Or())
+	s.xnorV.Not(s.xorV)
+	s.computeAdd(s.xorV, s.arr.And())
+}
+
+// computeAdd evaluates the Manchester carry chain for every segment group:
+// propagate p, generate g, carry-in from the inter-segment carry latch. The
+// resulting carry-out is staged in pendingCout and only committed to the
+// latch by a writeback with Src = add.
+func (s *Stack) computeAdd(p, g bitmat.Row) {
+	cin := s.t0
+	cin.And(s.carry, s.lsbMask) // carries enter at each group's LSB column
+	s.sum.Zero()
+	for j := 0; j < s.n; j++ {
+		// Sum bits for the columns at offset j.
+		s.t1.Xor(p, cin)
+		s.t1.And(s.t1, s.offMask[j])
+		s.sum.Or(s.sum, s.t1)
+		// Carry out of offset j: g | (p & cin).
+		s.t1.And(p, cin)
+		s.t1.Or(s.t1, g)
+		s.t1.And(s.t1, s.offMask[j])
+		if j == s.n-1 {
+			// Group carry-out: park at the LSB position for the latch.
+			s.pendingCout.ShiftRight(s.t1, s.n-1)
+		} else {
+			cin.ShiftLeft(s.t1, 1)
+		}
+	}
+}
+
+// selectSrc implements the bus logic: pick the value a writeback commits.
+func (s *Stack) selectSrc(src uop.Src, extIdx int, env *Env) bitmat.Row {
+	switch src {
+	case uop.SrcAnd:
+		return s.arr.And()
+	case uop.SrcNand:
+		return s.arr.Nand()
+	case uop.SrcOr:
+		return s.arr.Or()
+	case uop.SrcNor:
+		return s.arr.Nor()
+	case uop.SrcXor:
+		return s.xorV
+	case uop.SrcXnor:
+		return s.xnorV
+	case uop.SrcAdd:
+		return s.sum
+	case uop.SrcCShift:
+		return s.cshift
+	case uop.SrcXReg:
+		return s.xreg
+	case uop.SrcMask:
+		return s.maskL
+	case uop.SrcZero:
+		s.t3.Zero()
+		return s.t3
+	case uop.SrcOnes:
+		s.t3.Fill()
+		return s.t3
+	case uop.SrcExt:
+		return env.Ext(extIdx)
+	default:
+		panic(fmt.Sprintf("circuits: invalid writeback source %v", src))
+	}
+}
+
+func (s *Stack) writeback(op uop.Arith, rowD, extIdx int, env *Env) {
+	val := s.selectSrc(op.Src, extIdx, env)
+	switch op.Dst {
+	case uop.DstRow:
+		if op.Masked {
+			s.arr.WriteMasked(rowD, val, s.maskL)
+		} else {
+			s.arr.Write(rowD, val)
+		}
+	case uop.DstXReg:
+		s.xreg.CopyFrom(val)
+	case uop.DstMask:
+		s.loadMask(val, op.Spread)
+	case uop.DstCShift:
+		s.cshift.CopyFrom(val)
+	case uop.DstSpare:
+		s.t2.And(val, s.lsbMask)
+		s.spare.CopyFrom(s.t2)
+	case uop.DstCarry:
+		s.t2.And(val, s.lsbMask)
+		s.carry.CopyFrom(s.t2)
+	case uop.DstDataOut:
+		if env != nil {
+			env.Out = append(env.Out, val.Clone())
+		}
+	default:
+		panic(fmt.Sprintf("circuits: invalid writeback destination %v", op.Dst))
+	}
+	// Committing an add result advances the inter-segment carry; predicated
+	// groups keep their previous carry (their writes are suppressed anyway).
+	if op.Src == uop.SrcAdd && op.Dst == uop.DstRow {
+		if op.Masked {
+			s.t2.SpreadLSB(s.maskL, s.n)
+			s.t2.And(s.t2, s.lsbMask)
+			s.carry.Mux(s.t2, s.pendingCout, s.carry)
+		} else {
+			s.carry.CopyFrom(s.pendingCout)
+		}
+	}
+}
+
+// loadMask loads the mask latches from val, optionally broadcasting each
+// group's LSB or MSB column value to the whole group (§III-C: "the mask can
+// be set to the XRegister value of either the most-significant column or the
+// least-significant column of the segment").
+func (s *Stack) loadMask(val bitmat.Row, sp uop.Spread) {
+	switch sp {
+	case uop.SpreadNone:
+		s.maskL.CopyFrom(val)
+	case uop.SpreadLSB:
+		s.maskL.SpreadLSB(val, s.n)
+	case uop.SpreadMSB:
+		s.maskL.SpreadMSB(val, s.n)
+	}
+}
+
+// groupCond derives the per-column shift condition: a group participates when
+// its mask is enabled (conditional shifts, §III-B). Unmasked shifts apply to
+// every group.
+func (s *Stack) groupCond(masked bool) bitmat.Row {
+	if !masked {
+		s.t3.Fill()
+		return s.t3
+	}
+	s.t3.SpreadLSB(s.maskL, s.n)
+	return s.t3
+}
+
+// shiftLeft shifts the constant shifter left by one bit within each enabled
+// group. The bit leaving the group's MSB column enters the spare shifter and
+// the bit stored in the spare shifter enters at the LSB column, so repeated
+// passes over consecutive segments implement a full-element shift (§III-C).
+func (s *Stack) shiftLeft(masked bool) {
+	cond := s.groupCond(masked)
+	// Outgoing MSB per group, parked at the LSB position.
+	out := s.t0
+	out.And(s.cshift, s.msbMask)
+	out.ShiftRight(out, s.n-1)
+	// Shift within groups, clearing the bit that crossed a group boundary,
+	// then insert the spare bit at the LSB.
+	sh := s.t1
+	sh.ShiftLeft(s.cshift, 1)
+	sh.AndNot(sh, s.lsbMask)
+	s.t2.And(s.spare, s.lsbMask)
+	sh.Or(sh, s.t2)
+	s.cshift.Mux(cond, sh, s.cshift)
+	// Update the spare bit only for enabled groups.
+	s.t2.And(cond, s.lsbMask)
+	s.spare.Mux(s.t2, out, s.spare)
+}
+
+// shiftRight is the mirror of shiftLeft: the bit leaving the LSB column is
+// captured by the spare shifter and the spare bit enters at the MSB column.
+func (s *Stack) shiftRight(masked bool) {
+	cond := s.groupCond(masked)
+	out := s.t0
+	out.And(s.cshift, s.lsbMask)
+	sh := s.t1
+	sh.ShiftRight(s.cshift, 1)
+	sh.AndNot(sh, s.msbMask)
+	s.t2.And(s.spare, s.lsbMask)
+	s.t2.ShiftLeft(s.t2, s.n-1)
+	sh.Or(sh, s.t2)
+	s.cshift.Mux(cond, sh, s.cshift)
+	s.t2.And(cond, s.lsbMask)
+	s.spare.Mux(s.t2, out, s.spare)
+}
+
+// rotateLeft rotates the constant shifter left by one bit within each enabled
+// group (the group MSB wraps to its own LSB).
+func (s *Stack) rotateLeft(masked bool) {
+	cond := s.groupCond(masked)
+	wrap := s.t0
+	wrap.And(s.cshift, s.msbMask)
+	wrap.ShiftRight(wrap, s.n-1)
+	sh := s.t1
+	sh.ShiftLeft(s.cshift, 1)
+	sh.AndNot(sh, s.lsbMask)
+	sh.Or(sh, wrap)
+	s.cshift.Mux(cond, sh, s.cshift)
+}
+
+// rotateRight rotates the constant shifter right by one bit within each
+// enabled group.
+func (s *Stack) rotateRight(masked bool) {
+	cond := s.groupCond(masked)
+	wrap := s.t0
+	wrap.And(s.cshift, s.lsbMask)
+	wrap.ShiftLeft(wrap, s.n-1)
+	sh := s.t1
+	sh.ShiftRight(s.cshift, 1)
+	sh.AndNot(sh, s.msbMask)
+	sh.Or(sh, wrap)
+	s.cshift.Mux(cond, sh, s.cshift)
+}
+
+// maskShift shifts the XRegister right by one bit within each group, zero
+// filling the MSB (Table II's m_shft). Multiplication walks the multiplier
+// segment one bit at a time with this μop.
+func (s *Stack) maskShift() {
+	sh := s.t1
+	sh.ShiftRight(s.xreg, 1)
+	sh.AndNot(sh, s.msbMask)
+	s.xreg.CopyFrom(sh)
+}

@@ -1,0 +1,124 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestInOrderOverlapBoundedByWindow(t *testing.T) {
+	// The IO core's small window allows a little memory-level parallelism
+	// (its L1D has 16 MSHRs, Table III) but a burst of cold misses must
+	// still serialize in groups: 16 misses take several times one miss.
+	one := func() int64 {
+		mh := mem.NewHierarchy()
+		c := New(IOConfig, mh)
+		c.Load(0x10000)
+		return c.Now()
+	}()
+	many := func() int64 {
+		mh := mem.NewHierarchy()
+		c := New(IOConfig, mh)
+		for i := 0; i < 16; i++ {
+			c.Load(uint64(0x10000 + i*4096))
+		}
+		return c.Now()
+	}()
+	if many < 3*one {
+		t.Fatalf("16 cold misses on IO took %d cycles vs %d for one; window should bound overlap", many, one)
+	}
+}
+
+func TestOutOfOrderOverlapsLoads(t *testing.T) {
+	run := func(cfg Config) int64 {
+		mh := mem.NewHierarchy()
+		c := New(cfg, mh)
+		for i := 0; i < 16; i++ {
+			c.Load(uint64(0x10000 + i*4096))
+		}
+		return c.Now()
+	}
+	io, o3 := run(IOConfig), run(O3Config)
+	if o3*2 > io {
+		t.Fatalf("O3 should overlap misses far more than IO: IO=%d cycles, O3=%d cycles", io, o3)
+	}
+}
+
+func TestIssueWidth(t *testing.T) {
+	mh := mem.NewHierarchy()
+	io := New(IOConfig, mh)
+	o3 := New(O3Config, mh)
+	io.Ops(800)
+	o3.Ops(800)
+	if got := io.Now(); got < 800 {
+		t.Fatalf("IO 800 ops in %d cycles; must be ≥ 800", got)
+	}
+	if got := o3.Now(); got > 110 {
+		t.Fatalf("O3 800 ops in %d cycles; 8-wide should take ~100", got)
+	}
+}
+
+func TestWindowLimitsOverlap(t *testing.T) {
+	// A tiny window forces even a wide core to expose load latency.
+	narrow := Config{Name: "narrow", Width: 8, Window: 2, MulLatency: 3}
+	run := func(cfg Config) int64 {
+		mh := mem.NewHierarchy()
+		c := New(cfg, mh)
+		for i := 0; i < 8; i++ {
+			c.Load(uint64(0x40000 + i*4096))
+		}
+		return c.Now()
+	}
+	if narrowT, wide := run(narrow), run(O3Config); narrowT <= wide {
+		t.Fatalf("window=2 (%d cycles) should be slower than window=192 (%d)", narrowT, wide)
+	}
+}
+
+func TestMulLatency(t *testing.T) {
+	mh := mem.NewHierarchy()
+	c := New(IOConfig, mh)
+	c.Muls(10)
+	if got := c.Now(); got < 10+IOConfig.MulLatency {
+		t.Fatalf("10 muls in %d cycles", got)
+	}
+	if c.Insts != 10 {
+		t.Fatalf("inst count = %d", c.Insts)
+	}
+}
+
+func TestStoresDoNotStall(t *testing.T) {
+	mh := mem.NewHierarchy()
+	c := New(IOConfig, mh)
+	for i := 0; i < 8; i++ {
+		c.Store(uint64(0x50000 + i*4096))
+	}
+	// Stores retire from the write buffer: roughly one cycle each even for
+	// cold lines.
+	if got := c.Now(); got > 40 {
+		t.Fatalf("8 stores took %d cycles; write buffer should hide misses", got)
+	}
+}
+
+func TestCachedReloadFast(t *testing.T) {
+	mh := mem.NewHierarchy()
+	c := New(IOConfig, mh)
+	c.Load(0x1234)
+	cold := c.Now()
+	c.Load(0x1234)
+	if warm := c.Now() - cold; warm > 5 {
+		t.Fatalf("warm reload took %d cycles; should be an L1 hit", warm)
+	}
+}
+
+func TestAdvanceTo(t *testing.T) {
+	c := New(IOConfig, mem.NewHierarchy())
+	c.Ops(5)
+	c.AdvanceTo(1000)
+	if c.Now() != 1000 {
+		t.Fatalf("Now = %d after AdvanceTo(1000)", c.Now())
+	}
+	c.AdvanceTo(500) // never goes backward
+	if c.Now() != 1000 {
+		t.Fatal("AdvanceTo moved time backward")
+	}
+}

@@ -1,0 +1,134 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses one instruction in the syntax Disassemble emits,
+// producing its static form. Scalar operands and addresses render as the
+// placeholder "x_" and assemble to zero values — like Encode/Decode, this
+// covers the register-register view of the instruction.
+func Assemble(s string) (*Instr, error) {
+	fields := strings.Fields(strings.ReplaceAll(s, ",", " "))
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("isa: empty assembly line")
+	}
+	mnemonic := fields[0]
+	operands := fields[1:]
+
+	masked := false
+	if n := len(operands); n > 0 && operands[n-1] == "v0.t" {
+		masked = true
+		operands = operands[:n-1]
+	}
+
+	vreg := func(tok string) (int, error) {
+		if !strings.HasPrefix(tok, "v") {
+			return 0, fmt.Errorf("isa: %q is not a vector register", tok)
+		}
+		r, err := strconv.Atoi(tok[1:])
+		if err != nil || r < 0 || r > 31 {
+			return 0, fmt.Errorf("isa: bad vector register %q", tok)
+		}
+		return r, nil
+	}
+
+	switch mnemonic {
+	case "vmfence":
+		return &Instr{Op: OpFence}, nil
+	case "vsetvli":
+		return &Instr{Op: OpSetVL}, nil
+	case "vmv.x.s":
+		if len(operands) != 2 {
+			return nil, fmt.Errorf("isa: vmv.x.s needs 2 operands")
+		}
+		vs, err := vreg(operands[1])
+		if err != nil {
+			return nil, err
+		}
+		return &Instr{Op: OpMvXS, Vs1: vs}, nil
+	case "vmv.s.x":
+		if len(operands) != 2 {
+			return nil, fmt.Errorf("isa: vmv.s.x needs 2 operands")
+		}
+		vd, err := vreg(operands[0])
+		if err != nil {
+			return nil, err
+		}
+		return &Instr{Op: OpMvSX, Vd: vd, Kind: KindVX}, nil
+	}
+
+	dot := strings.LastIndex(mnemonic, ".")
+	if dot < 0 {
+		return nil, fmt.Errorf("isa: mnemonic %q has no operand-kind suffix", mnemonic)
+	}
+	base, suffix := mnemonic[:dot], mnemonic[dot+1:]
+	var op Op = OpNop
+	for candidate, name := range opNames {
+		if name == base {
+			op = candidate
+			break
+		}
+	}
+	if op == OpNop {
+		return nil, fmt.Errorf("isa: unknown mnemonic %q", base)
+	}
+
+	in := &Instr{Op: op, Masked: masked}
+	switch {
+	case IsMemory(op):
+		if suffix != "v" || len(operands) != 2 {
+			return nil, fmt.Errorf("isa: malformed memory instruction %q", s)
+		}
+		r, err := vreg(operands[0])
+		if err != nil {
+			return nil, err
+		}
+		if IsStore(op) {
+			in.Vs1 = r
+		} else {
+			in.Vd = r
+		}
+		return in, nil
+	case suffix == "vv":
+		if len(operands) != 3 {
+			return nil, fmt.Errorf("isa: %q needs 3 register operands", mnemonic)
+		}
+		var err error
+		if in.Vd, err = vreg(operands[0]); err != nil {
+			return nil, err
+		}
+		if in.Vs1, err = vreg(operands[1]); err != nil {
+			return nil, err
+		}
+		if in.Vs2, err = vreg(operands[2]); err != nil {
+			return nil, err
+		}
+		if op == OpMerge {
+			in.Masked = true
+		}
+		return in, nil
+	case suffix == "vx":
+		if len(operands) != 3 {
+			return nil, fmt.Errorf("isa: %q needs vd, vs1, x_", mnemonic)
+		}
+		in.Kind = KindVX
+		var err error
+		if in.Vd, err = vreg(operands[0]); err != nil {
+			return nil, err
+		}
+		if in.Vs1, err = vreg(operands[1]); err != nil {
+			return nil, err
+		}
+		return in, nil
+	case suffix == "v" && op == OpVId:
+		var err error
+		if in.Vd, err = vreg(operands[0]); err != nil {
+			return nil, err
+		}
+		return in, nil
+	}
+	return nil, fmt.Errorf("isa: unsupported suffix %q in %q", suffix, mnemonic)
+}

@@ -1,0 +1,148 @@
+package isa
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// TestBuilderFullSurface exercises every intrinsic against its expected
+// semantics on a small vector.
+func TestBuilderFullSurface(t *testing.T) {
+	b := NewBuilder(mem.NewFlat(1<<20), 8, nil)
+	b.SetVL(8)
+
+	set := func(r int, vals ...uint32) {
+		copy(b.VReg(r), vals)
+	}
+	wantv := func(r int, vals ...uint32) {
+		t.Helper()
+		for i, w := range vals {
+			if got := b.VReg(r)[i]; got != w {
+				t.Fatalf("v%d[%d] = %#x, want %#x", r, i, got, w)
+			}
+		}
+	}
+
+	set(1, 10, 20, 0x80000000, 0xFFFFFFFF, 5, 6, 7, 8)
+	set(2, 3, 2, 1, 2, 5, 9, 2, 1)
+
+	b.Sub(3, 1, 2)
+	wantv(3, 7, 18)
+	b.SubVX(3, 1, 1)
+	wantv(3, 9, 19)
+	b.RSubVX(3, 1, 100)
+	wantv(3, 90, 80)
+	b.AndVX(3, 1, 0xF)
+	wantv(3, 10&0xF, 20&0xF)
+	b.OrVX(3, 1, 0x100)
+	wantv(3, 10|0x100)
+	b.XorVX(3, 1, 0xFF)
+	wantv(3, 10^0xFF)
+	b.Or(3, 1, 2)
+	wantv(3, 11, 22)
+	b.Xor(3, 1, 2)
+	wantv(3, 9, 22)
+
+	b.Min(3, 1, 2)
+	wantv(3, 3, 2, 0x80000000) // signed: -2^31 < 1
+	b.Max(3, 1, 2)
+	wantv(3, 10, 20, 1)
+	b.MinU(3, 1, 2)
+	wantv(3, 3, 2, 1)
+	b.MaxU(3, 1, 2)
+	wantv(3, 10, 20, 0x80000000)
+	b.MaxVX(3, 1, 7)
+	wantv(3, 10, 20, 7, 7)
+
+	b.SllVX(3, 1, 2)
+	wantv(3, 40, 80)
+	b.SrlVX(3, 1, 1)
+	wantv(3, 5, 10, 0x40000000)
+	b.SraVX(3, 1, 1)
+	wantv(3, 5, 10, 0xC0000000)
+	b.Sll(3, 1, 2)
+	wantv(3, 10<<3, 20<<2)
+	b.Srl(3, 1, 2)
+	wantv(3, 10>>3, 20>>2)
+
+	b.MulVX(3, 1, 3)
+	wantv(3, 30, 60)
+	b.MulH(3, 1, 2)
+	wantv(3, 0, 0)
+	b.MaccVX(3, 2, 2) // 0 + 2*3, 0 + 2*2 on top of previous zeros... v3 currently {0,0,...}
+	wantv(3, 6, 4)
+	b.DivU(3, 1, 2)
+	wantv(3, 3, 10)
+	b.Div(3, 1, 2)
+	wantv(3, 3, 10)
+	b.DivVX(3, 1, 2)
+	wantv(3, 5, 10)
+
+	b.MSeq(3, 1, 2)
+	wantv(3, 0, 0)
+	b.MSne(3, 1, 2)
+	wantv(3, 1, 1)
+	b.MSlt(3, 1, 2)
+	wantv(3, 0, 0, 1) // signed
+	b.MSltU(3, 1, 2)
+	wantv(3, 0, 0, 0)
+	b.MSltVX(3, 1, 15)
+	wantv(3, 1, 0, 1)
+	b.MSgtVX(3, 1, 15)
+	wantv(3, 0, 1, 0)
+	b.MSltUVX(3, 1, 15)
+	wantv(3, 1, 0, 0)
+	b.MSgtUVX(3, 1, 15)
+	wantv(3, 0, 1, 1)
+	b.MSeqVX(3, 1, 20)
+	wantv(3, 0, 1, 0)
+
+	b.MvVX(3, 42)
+	wantv(3, 42, 42)
+	b.Mv(4, 3)
+	wantv(4, 42, 42)
+	b.MvSX(4, 7)
+	wantv(4, 7, 42)
+	if got := b.MvXS(4); got != 7 {
+		t.Fatalf("MvXS = %d", got)
+	}
+
+	// Reductions.
+	b.VId(5)
+	b.MvSX(6, 100)
+	b.RedMax(7, 5, 6)
+	wantv(7, 100)
+	b.MvSX(6, 3)
+	b.RedMax(7, 5, 6)
+	wantv(7, 7)
+	b.RedMin(7, 5, 6)
+	wantv(7, 0)
+	b.RedMinU(7, 5, 6)
+	wantv(7, 0)
+
+	// Strided/indexed stores.
+	base := b.Mem.AllocU32(64)
+	b.VId(5)
+	b.StoreStride(5, base, 8)
+	if b.Mem.LoadU32(base+16) != 2 {
+		t.Fatal("StoreStride wrong")
+	}
+	b.SllVX(6, 5, 2) // byte offsets 0,4,8,...
+	b.StoreIdx(5, base+128, 6)
+	if b.Mem.LoadU32(base+128+12) != 3 {
+		t.Fatal("StoreIdx wrong")
+	}
+	b.Fence()
+}
+
+// TestVLBoundaryZeroElements: SetVL(0) leaves operations as no-ops.
+func TestVLBoundaryZeroElements(t *testing.T) {
+	b := NewBuilder(mem.NewFlat(1<<20), 8, nil)
+	copy(b.VReg(3), []uint32{9, 9})
+	b.SetVL(0)
+	b.MvVX(3, 1)
+	if b.VReg(3)[0] != 9 {
+		t.Fatal("VL=0 operation touched elements")
+	}
+}

@@ -1,0 +1,272 @@
+package isa
+
+import "fmt"
+
+// Binary encoding and decoding of the vector instruction subset, following
+// the RISC-V "V" extension 0.7.1 layout the paper targets: OP-V instructions
+// carry funct6 | vm | vs2 | vs1 | funct3 | vd | opcode, with the funct3
+// field selecting the operand category (OPIVV, OPIVX, OPMVV, ...), and
+// vector memory operations live on the LOAD-FP/STORE-FP opcodes with the
+// mop field distinguishing unit-stride, strided and indexed forms.
+//
+// The encoder covers the register-register view of the ISA; scalar operand
+// *values* (the x-register contents baked into a dynamic Instr) and memory
+// addresses are runtime state and round-trip through the register numbers
+// only. Decode(Encode(i)) therefore reproduces opcode, operand kind,
+// registers and mask bit — the static instruction — which is what an
+// assembler or disassembler works with.
+
+// RISC-V major opcodes used by the vector extension.
+const (
+	opcodeVec     = 0x57 // OP-V
+	opcodeLoadFP  = 0x07
+	opcodeStoreFP = 0x27
+)
+
+// funct3 operand categories.
+const (
+	f3OPIVV = 0
+	f3OPIVX = 4
+	f3OPMVV = 2
+	f3OPMVX = 6
+	f3OPCFG = 7
+)
+
+// arithEnc maps an arithmetic Op to its funct6 and category family.
+type arithEnc struct {
+	funct6 uint32
+	opm    bool // OPM (integer multiply/divide/reduction) family
+}
+
+var arithEncodings = map[Op]arithEnc{
+	OpAdd:        {0x00, false},
+	OpSub:        {0x02, false},
+	OpRSub:       {0x03, false},
+	OpMinU:       {0x04, false},
+	OpMin:        {0x05, false},
+	OpMaxU:       {0x06, false},
+	OpMax:        {0x07, false},
+	OpAnd:        {0x09, false},
+	OpOr:         {0x0A, false},
+	OpXor:        {0x0B, false},
+	OpRGather:    {0x0C, false},
+	OpSlide1Up:   {0x0E, false},
+	OpSlide1Down: {0x0F, false},
+	OpMerge:      {0x17, false},
+	OpMSeq:       {0x18, false},
+	OpMSne:       {0x19, false},
+	OpMSltU:      {0x1A, false},
+	OpMSlt:       {0x1B, false},
+	OpMSleU:      {0x1C, false},
+	OpMSle:       {0x1D, false},
+	OpMSgtU:      {0x1E, false},
+	OpMSgt:       {0x1F, false},
+	OpSAddU:      {0x20, false},
+	OpSAdd:       {0x21, false},
+	OpSSubU:      {0x22, false},
+	OpSSub:       {0x23, false},
+	OpSll:        {0x25, false},
+	OpSrl:        {0x28, false},
+	OpSra:        {0x29, false},
+	OpMv:         {0x27, false}, // vmv.v.v / vmv.v.x (vs2 = 0)
+
+	OpRedSum:  {0x00, true},
+	OpRedMinU: {0x04, true},
+	OpRedMin:  {0x05, true},
+	OpRedMaxU: {0x06, true},
+	OpRedMax:  {0x07, true},
+	OpMvXS:    {0x10, true}, // VWXUNARY0
+	OpMvSX:    {0x10, true}, // VRXUNARY0 (distinguished by category)
+	OpDivU:    {0x20, true},
+	OpDiv:     {0x21, true},
+	OpRemU:    {0x22, true},
+	OpRem:     {0x23, true},
+	OpMulHU:   {0x24, true},
+	OpMul:     {0x25, true},
+	OpMacc:    {0x2D, true},
+	OpVId:     {0x14, true}, // VMUNARY0, vs1 = 17
+}
+
+// OpMulHU aliases OpMulH for the encoding table's naming.
+const OpMulHU = OpMulH
+
+// memEnc describes a vector memory encoding: mop field and store flag.
+type memEnc struct {
+	mop   uint32
+	store bool
+}
+
+var memEncodings = map[Op]memEnc{
+	OpLoad:        {0, false},
+	OpLoadStride:  {2, false},
+	OpLoadIdx:     {3, false},
+	OpStore:       {0, true},
+	OpStoreStride: {2, true},
+	OpStoreIdx:    {3, true},
+}
+
+// Encode renders the static part of a dynamic instruction as a 32-bit
+// RISC-V instruction word. Runtime-only payload (scalar values, resolved
+// addresses, the active VL) is not representable in the encoding and is
+// ignored. OpNop and unknown operations return an error.
+func Encode(in *Instr) (uint32, error) {
+	vm := uint32(1) // vm=1 means unmasked in RVV
+	if in.Masked {
+		vm = 0
+	}
+	field := func(v int) uint32 { return uint32(v) & 0x1F }
+
+	if me, ok := memEncodings[in.Op]; ok {
+		// nf=0, mew=0, width=110 (32-bit elements per V0.7 SEW encoding).
+		const width = 6
+		data := field(in.Vd)
+		if me.store {
+			data = field(in.Vs1) // store data register lives in the vd slot
+		}
+		word := me.mop<<26 | vm<<25 | field(in.Vs2)<<20 | 0<<15 |
+			uint32(width)<<12 | data<<7
+		if me.store {
+			return word | opcodeStoreFP, nil
+		}
+		return word | opcodeLoadFP, nil
+	}
+
+	switch in.Op {
+	case OpSetVL:
+		// vsetvli vd, rs1, e32 — the immediate vtype field encodes SEW=32.
+		const vtypeE32 = 0x10
+		return uint32(vtypeE32)<<20 | 0<<15 | uint32(f3OPCFG)<<12 | 0<<7 | opcodeVec, nil
+	case OpFence:
+		// vmfence is the paper's new instruction (§V-A); we assign it the
+		// custom-0 opcode with a distinguishing funct3.
+		return 0x0B | 1<<12, nil
+	case OpNop:
+		return 0, fmt.Errorf("isa: cannot encode a nop")
+	}
+
+	ae, ok := arithEncodings[in.Op]
+	if !ok {
+		return 0, fmt.Errorf("isa: no encoding for %v", in.Op)
+	}
+	var f3 uint32
+	switch {
+	case ae.opm && in.Kind == KindVX:
+		f3 = f3OPMVX
+	case ae.opm:
+		f3 = f3OPMVV
+	case in.Kind == KindVX:
+		f3 = f3OPIVX
+	default:
+		f3 = f3OPIVV
+	}
+	if in.Op == OpMvSX {
+		f3 = f3OPMVX // scalar-to-vector moves are OPMVX by construction
+	}
+	vs1 := field(in.Vs1)
+	if in.Op == OpVId {
+		vs1 = 17 // vid.v's VMUNARY0 selector
+	}
+	word := ae.funct6<<26 | vm<<25 | field(in.Vs2)<<20 | vs1<<15 |
+		f3<<12 | field(in.Vd)<<7 | opcodeVec
+	return word, nil
+}
+
+// Decode parses an instruction word produced by Encode back into its static
+// instruction form.
+func Decode(word uint32) (*Instr, error) {
+	opc := word & 0x7F
+	vm := word >> 25 & 1
+	vd := int(word >> 7 & 0x1F)
+	f3 := word >> 12 & 7
+	vs1 := int(word >> 15 & 0x1F)
+	vs2 := int(word >> 20 & 0x1F)
+
+	switch opc {
+	case opcodeLoadFP, opcodeStoreFP:
+		mop := word >> 26 & 3
+		store := opc == opcodeStoreFP
+		for op, me := range memEncodings {
+			if me.mop == mop && me.store == store {
+				in := &Instr{Op: op, Masked: vm == 0}
+				if store {
+					in.Vs1 = vd
+				} else {
+					in.Vd = vd
+				}
+				in.Vs2 = vs2
+				return in, nil
+			}
+		}
+		return nil, fmt.Errorf("isa: unknown vector memory mop %d", mop)
+	case 0x0B:
+		if word>>12&7 == 1 {
+			return &Instr{Op: OpFence}, nil
+		}
+		return nil, fmt.Errorf("isa: unknown custom-0 instruction %#x", word)
+	case opcodeVec:
+		// fall through below
+	default:
+		return nil, fmt.Errorf("isa: opcode %#x is not a vector instruction", opc)
+	}
+
+	if f3 == f3OPCFG {
+		return &Instr{Op: OpSetVL}, nil
+	}
+	opm := f3 == f3OPMVV || f3 == f3OPMVX
+	vx := f3 == f3OPIVX || f3 == f3OPMVX
+	funct6 := word >> 26 & 0x3F
+	for op, ae := range arithEncodings {
+		if ae.funct6 != funct6 || ae.opm != opm {
+			continue
+		}
+		// Disambiguate the shared VWXUNARY0/VRXUNARY0 slot by category.
+		if funct6 == 0x10 && opm {
+			if vx {
+				op = OpMvSX
+			} else {
+				op = OpMvXS
+			}
+		}
+		if funct6 == 0x14 && opm && vs1 != 17 {
+			continue
+		}
+		kind := KindVV
+		if vx {
+			kind = KindVX
+		}
+		in := &Instr{Op: op, Kind: kind, Vd: vd, Vs1: vs1, Vs2: vs2, Masked: vm == 0}
+		if op == OpVId {
+			in.Vs1 = 0
+		}
+		return in, nil
+	}
+	return nil, fmt.Errorf("isa: unknown funct6 %#x (opm=%v)", funct6, opm)
+}
+
+// Disassemble renders a static instruction in assembler-like syntax.
+func Disassemble(in *Instr) string {
+	suffix := ""
+	if in.Masked {
+		suffix = ", v0.t"
+	}
+	switch {
+	case in.Op == OpSetVL:
+		return "vsetvli x0, x0, e32"
+	case in.Op == OpFence:
+		return "vmfence"
+	case in.Op == OpMvXS:
+		return fmt.Sprintf("vmv.x.s x_, v%d", in.Vs1)
+	case in.Op == OpMvSX:
+		return fmt.Sprintf("vmv.s.x v%d, x_", in.Vd)
+	case isStoreOp(in.Op):
+		return fmt.Sprintf("%s.v v%d, (x_)%s", in.Op, in.Vs1, suffix)
+	case IsMemory(in.Op):
+		return fmt.Sprintf("%s.v v%d, (x_)%s", in.Op, in.Vd, suffix)
+	case in.Kind == KindVX:
+		return fmt.Sprintf("%s.vx v%d, v%d, x_%s", in.Op, in.Vd, in.Vs1, suffix)
+	default:
+		return fmt.Sprintf("%s.vv v%d, v%d, v%d%s", in.Op, in.Vd, in.Vs1, in.Vs2, suffix)
+	}
+}
+
+func isStoreOp(o Op) bool { return IsStore(o) }

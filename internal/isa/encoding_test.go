@@ -1,0 +1,187 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// encodableOps is every operation Encode supports.
+func encodableOps() []Op {
+	ops := []Op{OpSetVL, OpFence}
+	for op := range arithEncodings {
+		ops = append(ops, op)
+	}
+	for op := range memEncodings {
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+// TestEncodeDecodeRoundTrip checks that every encodable instruction's
+// static form survives Encode → Decode, across random register choices and
+// mask bits.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, op := range encodableOps() {
+		op := op
+		for trial := 0; trial < 8; trial++ {
+			in := &Instr{
+				Op:     op,
+				Vd:     rng.Intn(32),
+				Vs1:    rng.Intn(32),
+				Vs2:    rng.Intn(32),
+				Masked: rng.Intn(2) == 1,
+			}
+			if op == OpVId {
+				in.Vs1 = 0
+			}
+			// Pick a legal operand kind for the family.
+			switch op {
+			case OpMvSX:
+				in.Kind = KindVX
+			case OpMvXS, OpRedSum, OpRedMin, OpRedMax, OpRedMinU, OpRedMaxU,
+				OpMerge, OpRGather, OpVId:
+				in.Kind = KindVV
+			default:
+				in.Kind = OperandKind(rng.Intn(2))
+			}
+			if IsMemory(op) || op == OpSetVL || op == OpFence {
+				in.Kind = KindVV
+				in.Masked = in.Masked && IsMemory(op)
+			}
+
+			word, err := Encode(in)
+			if err != nil {
+				t.Fatalf("Encode(%v): %v", op, err)
+			}
+			got, err := Decode(word)
+			if err != nil {
+				t.Fatalf("Decode(Encode(%v)) = %#x: %v", op, word, err)
+			}
+			if got.Op != in.Op {
+				t.Fatalf("%v round-tripped to %v (word %#x)", in.Op, got.Op, word)
+			}
+			switch {
+			case op == OpSetVL || op == OpFence:
+				// Only the opcode is static.
+			case IsStore(op):
+				if got.Vs1 != in.Vs1 || got.Masked != in.Masked {
+					t.Fatalf("%v: got %+v, want %+v", op, got, in)
+				}
+			case IsMemory(op):
+				if got.Vd != in.Vd || got.Masked != in.Masked {
+					t.Fatalf("%v: got %+v, want %+v", op, got, in)
+				}
+			case op == OpMvXS:
+				if got.Vs1 != in.Vs1 {
+					t.Fatalf("%v: vs1 %d != %d", op, got.Vs1, in.Vs1)
+				}
+			case op == OpMvSX:
+				if got.Vd != in.Vd {
+					t.Fatalf("%v: vd %d != %d", op, got.Vd, in.Vd)
+				}
+			default:
+				if got.Vd != in.Vd || got.Vs1 != in.Vs1 || got.Kind != in.Kind || got.Masked != in.Masked {
+					t.Fatalf("%v: got %+v, want %+v", op, got, in)
+				}
+				if in.Kind == KindVV && got.Vs2 != in.Vs2 && op != OpVId {
+					t.Fatalf("%v: vs2 %d != %d", op, got.Vs2, in.Vs2)
+				}
+			}
+		}
+	}
+}
+
+func TestEncodeRejectsNop(t *testing.T) {
+	if _, err := Encode(&Instr{Op: OpNop}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	for _, w := range []uint32{0x00000033 /* scalar add */, 0xFFFFFFFF, 0} {
+		if _, err := Decode(w); err == nil {
+			t.Fatalf("Decode(%#x) should fail", w)
+		}
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	cases := []struct {
+		in   *Instr
+		want string
+	}{
+		{&Instr{Op: OpAdd, Kind: KindVV, Vd: 3, Vs1: 1, Vs2: 2}, "vadd.vv v3, v1, v2"},
+		{&Instr{Op: OpMul, Kind: KindVX, Vd: 4, Vs1: 5}, "vmul.vx v4, v5, x_"},
+		{&Instr{Op: OpAdd, Kind: KindVV, Vd: 3, Vs1: 1, Vs2: 2, Masked: true}, "vadd.vv v3, v1, v2, v0.t"},
+		{&Instr{Op: OpLoad, Vd: 7}, "vle32.v v7, (x_)"},
+		{&Instr{Op: OpStore, Vs1: 9}, "vse32.v v9, (x_)"},
+		{&Instr{Op: OpFence}, "vmfence"},
+		{&Instr{Op: OpMvXS, Vs1: 6}, "vmv.x.s x_, v6"},
+	}
+	for _, c := range cases {
+		if got := Disassemble(c.in); got != c.want {
+			t.Errorf("Disassemble = %q, want %q", got, c.want)
+		}
+	}
+}
+
+// TestDisassembleCoversAllEncodable smoke-checks the disassembler over the
+// whole encodable set.
+func TestDisassembleCoversAllEncodable(t *testing.T) {
+	for _, op := range encodableOps() {
+		in := &Instr{Op: op, Vd: 1, Vs1: 2, Vs2: 3}
+		s := Disassemble(in)
+		if s == "" || strings.Contains(s, "op(") {
+			t.Errorf("Disassemble(%v) = %q", op, s)
+		}
+	}
+}
+
+// TestAssembleDisassembleRoundTrip: the assembler inverts Disassemble for
+// the register-register view.
+func TestAssembleDisassembleRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, op := range encodableOps() {
+		in := &Instr{Op: op, Vd: rng.Intn(32), Vs1: rng.Intn(32), Vs2: rng.Intn(32)}
+		switch op {
+		case OpMvSX:
+			in.Kind = KindVX
+		case OpMerge:
+			in.Masked = true
+		}
+		asm := Disassemble(in)
+		got, err := Assemble(asm)
+		if err != nil {
+			t.Fatalf("Assemble(%q): %v", asm, err)
+		}
+		if got.Op != in.Op {
+			t.Fatalf("%q assembled to %v, want %v", asm, got.Op, in.Op)
+		}
+		if Disassemble(got) != asm {
+			t.Fatalf("round trip changed text: %q -> %q", asm, Disassemble(got))
+		}
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	for _, s := range []string{
+		"", "vadd", "vadd.vv v1, v2", "vadd.vv v1, v2, v99",
+		"vbogus.vv v1, v2, v3", "vadd.zz v1, v2, v3", "vle32.v",
+	} {
+		if _, err := Assemble(s); err == nil {
+			t.Errorf("Assemble(%q) should fail", s)
+		}
+	}
+}
+
+func TestAssembleMasked(t *testing.T) {
+	in, err := Assemble("vadd.vv v3, v1, v2, v0.t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Masked || in.Vd != 3 {
+		t.Fatalf("masked assembly wrong: %+v", in)
+	}
+}

@@ -1,0 +1,291 @@
+package mem
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// LineBytes is the cache line size used throughout the hierarchy.
+const LineBytes = 64
+
+// Result describes the outcome of a timed memory access.
+type Result struct {
+	// Accepted is when the level actually took the request — later than the
+	// request time if MSHRs or banks were exhausted (the stall Fig 8 plots).
+	Accepted int64
+	// Done is when the data is available to the requester.
+	Done int64
+}
+
+// Level is a component that can serve timed line-granular accesses.
+type Level interface {
+	// Access requests the line containing addr at time t. write marks the
+	// intent (write-allocate policy; dirty state tracking).
+	Access(addr uint64, write bool, t int64) Result
+	// Name identifies the level in statistics.
+	Name() string
+}
+
+// CacheConfig parameterizes one cache level (Table III).
+type CacheConfig struct {
+	Name       string
+	SizeBytes  int
+	Ways       int
+	Banks      int
+	HitLatency int64
+	MSHRs      int
+}
+
+// CacheStats counts cache activity.
+type CacheStats struct {
+	Accesses    uint64
+	Hits        uint64
+	Misses      uint64
+	Writebacks  uint64
+	MSHRStall   int64 // cycles requests spent waiting for an MSHR
+	BankStall   int64 // cycles requests spent waiting for a bank
+	MergedMiss  uint64
+	Invalidates uint64
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64
+}
+
+// releaseHeap is a min-heap of busy-resource release times.
+type releaseHeap []int64
+
+func (h releaseHeap) Len() int            { return len(h) }
+func (h releaseHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h releaseHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *releaseHeap) Push(x interface{}) { *h = append(*h, x.(int64)) }
+func (h *releaseHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Cache is one timed cache level: set-associative tags with LRU, per-bank
+// occupancy, and a bounded pool of MSHRs tracking outstanding misses.
+// Secondary misses to an outstanding line merge instead of consuming a new
+// MSHR.
+type Cache struct {
+	cfg   CacheConfig
+	sets  [][]line
+	nsets int
+	banks []int64
+	mshrs releaseHeap
+	// outstanding maps line address -> completion time of the in-flight miss.
+	outstanding map[uint64]int64
+	lower       Level
+	clock       uint64 // LRU tick
+	stats       CacheStats
+
+	// partition restricts allocation to the first partitionWays ways when
+	// nonzero (EVE way-partitioning, §V-E).
+	partitionWays int
+}
+
+// NewCache builds a cache over the given lower level.
+func NewCache(cfg CacheConfig, lower Level) *Cache {
+	nsets := cfg.SizeBytes / (LineBytes * cfg.Ways)
+	if nsets <= 0 || nsets&(nsets-1) != 0 {
+		panic(fmt.Sprintf("mem: %s has %d sets; must be a positive power of two", cfg.Name, nsets))
+	}
+	if cfg.Banks <= 0 {
+		cfg.Banks = 1
+	}
+	c := &Cache{
+		cfg:         cfg,
+		nsets:       nsets,
+		sets:        make([][]line, nsets),
+		banks:       make([]int64, cfg.Banks),
+		outstanding: make(map[uint64]int64),
+		lower:       lower,
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Ways)
+	}
+	return c
+}
+
+// Name identifies the cache.
+func (c *Cache) Name() string { return c.cfg.Name }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() CacheStats { return c.stats }
+
+// ResetStats zeroes the counters (tags and timing state are kept).
+func (c *Cache) ResetStats() { c.stats = CacheStats{} }
+
+func (c *Cache) index(lineAddr uint64) (set int, tag uint64) {
+	return int(lineAddr % uint64(c.nsets)), lineAddr / uint64(c.nsets)
+}
+
+func (c *Cache) ways() int {
+	if c.partitionWays > 0 {
+		return c.partitionWays
+	}
+	return c.cfg.Ways
+}
+
+// Access implements Level.
+func (c *Cache) Access(addr uint64, write bool, t int64) Result {
+	c.stats.Accesses++
+	lineAddr := addr / LineBytes
+	set, tag := c.index(lineAddr)
+
+	// Bank arbitration: each access occupies its bank for one cycle.
+	// Requests from decoupled units arrive with out-of-order timestamps, so
+	// a conflict is only honored within a small window — otherwise a
+	// future-timestamped access would falsely block much earlier ones.
+	const bankWindow = 4
+	b := int(lineAddr) % len(c.banks)
+	start := t
+	if c.banks[b] > start && c.banks[b]-start <= bankWindow {
+		c.stats.BankStall += c.banks[b] - start
+		start = c.banks[b]
+	}
+	if start+1 > c.banks[b] {
+		c.banks[b] = start + 1
+	}
+
+	ways := c.ways()
+	ls := c.sets[set][:ways]
+	c.clock++
+	for i := range ls {
+		if ls[i].valid && ls[i].tag == tag {
+			c.stats.Hits++
+			ls[i].lru = c.clock
+			if write {
+				ls[i].dirty = true
+			}
+			done := start + c.cfg.HitLatency
+			// A line installed by an in-flight miss is not actually present
+			// until its fill completes; late hits wait for it.
+			if pend, ok := c.outstanding[lineAddr]; ok {
+				if pend > done {
+					done = pend
+				} else {
+					delete(c.outstanding, lineAddr)
+				}
+			}
+			return Result{Accepted: start, Done: done}
+		}
+	}
+
+	// Miss. Merge with an outstanding request to the same line if any.
+	c.stats.Misses++
+	if done, ok := c.outstanding[lineAddr]; ok {
+		c.stats.MergedMiss++
+		if done < start+c.cfg.HitLatency {
+			done = start + c.cfg.HitLatency
+		}
+		return Result{Accepted: start, Done: done}
+	}
+
+	// Write misses allocate without fetching: cache-line-granular writers
+	// (vector store drains, writebacks from above) overwrite the whole line,
+	// so no read of the lower level is needed — the bandwidth is charged
+	// when the dirty line eventually writes back.
+	if write {
+		c.install(set, tag, true, start)
+		return Result{Accepted: start, Done: start + c.cfg.HitLatency}
+	}
+
+	// Acquire an MSHR, stalling until one frees if the pool is full.
+	issue := start
+	for len(c.mshrs) > 0 && c.mshrs[0] <= issue {
+		heap.Pop(&c.mshrs)
+	}
+	if len(c.mshrs) >= c.cfg.MSHRs {
+		free := c.mshrs[0]
+		c.stats.MSHRStall += free - issue
+		issue = free
+		for len(c.mshrs) > 0 && c.mshrs[0] <= issue {
+			heap.Pop(&c.mshrs)
+		}
+	}
+
+	lower := c.lower.Access(addr, false, issue+c.cfg.HitLatency)
+	done := lower.Done + c.cfg.HitLatency
+	heap.Push(&c.mshrs, done)
+	// The tag is installed now but marked outstanding until the fill
+	// completes, so accesses arriving before `done` wait for it. Entries are
+	// cleaned lazily on later hits, with a size-bounded sweep as backstop.
+	c.outstanding[lineAddr] = done
+	if len(c.outstanding) > 4096 {
+		for k, v := range c.outstanding {
+			if v <= issue {
+				delete(c.outstanding, k)
+			}
+		}
+	}
+	c.install(set, tag, write, done)
+	return Result{Accepted: issue, Done: done}
+}
+
+// install places the fetched line, evicting the LRU victim (writing it back
+// if dirty).
+func (c *Cache) install(set int, tag uint64, dirty bool, t int64) {
+	ways := c.ways()
+	ls := c.sets[set][:ways]
+	victim := 0
+	for i := range ls {
+		if !ls[i].valid {
+			victim = i
+			break
+		}
+		if ls[i].lru < ls[victim].lru {
+			victim = i
+		}
+	}
+	if ls[victim].valid && ls[victim].dirty {
+		c.stats.Writebacks++
+		victimLine := ls[victim].tag*uint64(c.nsets) + uint64(set)
+		c.lower.Access(victimLine*LineBytes, true, t)
+	}
+	ls[victim] = line{tag: tag, valid: true, dirty: dirty, lru: c.clock}
+}
+
+// Partition restricts the cache to its first `ways` ways, invalidating lines
+// in the released ways and reporting how many were dirty — the reconfiguration
+// that spawns EVE (§V-E). Pass cfg.Ways (or 0) to restore full associativity;
+// restored ways come back invalid, also per §V-E.
+func (c *Cache) Partition(ways int) (invalidated, dirty int) {
+	if ways <= 0 || ways > c.cfg.Ways {
+		ways = c.cfg.Ways
+	}
+	for s := range c.sets {
+		for w := ways; w < c.cfg.Ways; w++ {
+			l := &c.sets[s][w]
+			if l.valid {
+				invalidated++
+				if l.dirty {
+					dirty++
+				}
+				c.stats.Invalidates++
+			}
+			*l = line{}
+		}
+	}
+	c.partitionWays = ways
+	return invalidated, dirty
+}
+
+// Contains reports whether the line holding addr is resident (testing aid).
+func (c *Cache) Contains(addr uint64) bool {
+	lineAddr := addr / LineBytes
+	set, tag := c.index(lineAddr)
+	for _, l := range c.sets[set][:c.ways()] {
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}

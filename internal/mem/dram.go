@@ -1,0 +1,61 @@
+package mem
+
+// DRAM models a single-channel DDR4-2400-like main memory: a fixed access
+// latency plus a shared data bus whose bandwidth serializes line transfers
+// (Table III: "single-channel DDR4-2400"). At the ~1 GHz core clock implied
+// by the 1.025ns SRAM cycle, DDR4-2400's 19.2 GB/s moves a 64-byte line in
+// about 3.3 cycles.
+type DRAM struct {
+	// Latency is the closed-page access latency in core cycles.
+	Latency int64
+	// CyclesPerLine is the bus occupancy of one 64-byte line transfer.
+	CyclesPerLine float64
+
+	busFree       float64
+	accesses      uint64
+	busBusy       float64
+	pendingWrites int
+}
+
+// DefaultDRAM returns the Table III configuration at a 1 GHz core clock.
+func DefaultDRAM() *DRAM {
+	return &DRAM{Latency: 50, CyclesPerLine: 64.0 / 19.2}
+}
+
+// Name implements Level.
+func (d *DRAM) Name() string { return "DRAM" }
+
+// Access implements Level. Reads occupy the bus for one line transfer and
+// complete after the access latency. Writes (evictions, store drains) are
+// posted into the controller's write buffer and complete immediately; their
+// bandwidth is charged by stealing a transfer slot from a subsequent read —
+// this keeps write traffic from serializing reads at the fictitious future
+// timestamps eviction events carry, while preserving the bus-bandwidth
+// floor of (reads+writes)·CyclesPerLine under mixed traffic.
+func (d *DRAM) Access(addr uint64, write bool, t int64) Result {
+	d.accesses++
+	if write {
+		d.pendingWrites++
+		d.busBusy += d.CyclesPerLine
+		return Result{Accepted: t, Done: t + 1}
+	}
+	start := float64(t)
+	if d.busFree > start {
+		start = d.busFree
+	}
+	occ := d.CyclesPerLine
+	if d.pendingWrites > 0 {
+		d.pendingWrites--
+		occ += d.CyclesPerLine
+	}
+	d.busFree = start + occ
+	d.busBusy += d.CyclesPerLine
+	return Result{Accepted: int64(start), Done: int64(start) + d.Latency}
+}
+
+// Accesses reports how many line transfers the DRAM served.
+func (d *DRAM) Accesses() uint64 { return d.accesses }
+
+// BusBusyCycles reports total bus occupancy, for bandwidth-utilization
+// reporting.
+func (d *DRAM) BusBusyCycles() float64 { return d.busBusy }

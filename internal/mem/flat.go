@@ -1,0 +1,71 @@
+// Package mem provides the memory-system substrate: a flat functional data
+// memory used by workload execution, and a cycle-approximate timing model of
+// the cache hierarchy of Table III — parameterized caches with banks and
+// MSHRs over a single-channel DDR4-2400-like DRAM. The timing model follows
+// the same philosophy as the paper's gem5 setup: requests carry a timestamp
+// and each level returns when the data is available, with structural hazards
+// (bank conflicts, MSHR exhaustion) pushing acceptance later.
+package mem
+
+import "fmt"
+
+// Flat is the functional data memory: a byte-addressable array with a bump
+// allocator. Address 0 is kept unmapped so that zero-value addresses fault
+// loudly.
+type Flat struct {
+	data []byte
+	brk  uint64
+}
+
+// NewFlat returns a flat memory with the given capacity in bytes.
+func NewFlat(capacity int) *Flat {
+	return &Flat{data: make([]byte, capacity), brk: 64}
+}
+
+// Alloc reserves n bytes aligned to align (a power of two) and returns the
+// base address.
+func (f *Flat) Alloc(n int, align uint64) uint64 {
+	if align == 0 {
+		align = 4
+	}
+	f.brk = (f.brk + align - 1) &^ (align - 1)
+	base := f.brk
+	f.brk += uint64(n)
+	if f.brk > uint64(len(f.data)) {
+		panic(fmt.Sprintf("mem: out of memory allocating %d bytes (brk %d, cap %d)",
+			n, base, len(f.data)))
+	}
+	return base
+}
+
+// AllocU32 reserves space for n 32-bit words and returns the base address.
+func (f *Flat) AllocU32(n int) uint64 { return f.Alloc(4*n, 64) }
+
+func (f *Flat) check(addr uint64, n int) {
+	if addr < 64 || addr+uint64(n) > uint64(len(f.data)) {
+		panic(fmt.Sprintf("mem: access [%#x,%#x) out of bounds", addr, addr+uint64(n)))
+	}
+}
+
+// LoadU32 reads the little-endian 32-bit word at addr.
+func (f *Flat) LoadU32(addr uint64) uint32 {
+	f.check(addr, 4)
+	d := f.data[addr:]
+	return uint32(d[0]) | uint32(d[1])<<8 | uint32(d[2])<<16 | uint32(d[3])<<24
+}
+
+// StoreU32 writes the little-endian 32-bit word v at addr.
+func (f *Flat) StoreU32(addr uint64, v uint32) {
+	f.check(addr, 4)
+	d := f.data[addr:]
+	d[0], d[1], d[2], d[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+// LoadI32 reads a signed 32-bit word.
+func (f *Flat) LoadI32(addr uint64) int32 { return int32(f.LoadU32(addr)) }
+
+// StoreI32 writes a signed 32-bit word.
+func (f *Flat) StoreI32(addr uint64, v int32) { f.StoreU32(addr, uint32(v)) }
+
+// Size reports the capacity in bytes.
+func (f *Flat) Size() int { return len(f.data) }

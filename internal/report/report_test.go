@@ -1,0 +1,118 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func TestStaticTablesRender(t *testing.T) {
+	cases := map[string][]string{
+		TableI():   {"TABLE I", "Packed SIMD", "Next Generation", "Gather/Scatter"},
+		TableII():  {"TABLE II", "blc", "m_shft", "bnd"},
+		TableIII(): {"TABLE III", "O3+EVE-n", "DDR4-2400", "decoupled"},
+		Fig1():     {"FIGURE 1", "in-situ ALUs"},
+		Area():     {"EVE-8", "11.7%", "1.55", "2.00x"},
+	}
+	for out, wants := range cases {
+		for _, w := range wants {
+			if !strings.Contains(out, w) {
+				t.Errorf("rendered output missing %q:\n%s", w, out[:min(200, len(out))])
+			}
+		}
+	}
+}
+
+func TestFig2Renders(t *testing.T) {
+	out := Fig2()
+	for _, w := range []string{"FIGURE 2", "PF (ALUs)", "4 (64)", "32 (8)"} {
+		if !strings.Contains(out, w) {
+			t.Errorf("Fig2 missing %q", w)
+		}
+	}
+}
+
+func TestFig4ShowsMicroPrograms(t *testing.T) {
+	out := Fig4(8)
+	for _, w := range []string{"vadd", "vmul", "blc", "wb", "bnz", "init seg_cnt"} {
+		if !strings.Contains(out, w) {
+			t.Errorf("Fig4 missing %q", w)
+		}
+	}
+}
+
+// TestDynamicFiguresRender runs a minimal matrix and checks every dynamic
+// table renders with the expected structure.
+func TestDynamicFiguresRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix run")
+	}
+	systems := sim.AllSystems()
+	kernels := []*workloads.Kernel{workloads.NewVVAdd(1 << 10), workloads.NewSW(48)}
+	results := sim.Matrix(systems, kernels)
+
+	fig6 := Fig6(systems, results, nil)
+	for _, w := range []string{"FIGURE 6", "vvadd", "sw", "geomean", "O3+EVE-8"} {
+		if !strings.Contains(fig6, w) {
+			t.Errorf("Fig6 missing %q", w)
+		}
+	}
+	t4 := TableIV(systems, results)
+	for _, w := range []string{"TABLE IV", "VI%", "VPar", "E-32"} {
+		if !strings.Contains(t4, w) {
+			t.Errorf("TableIV missing %q", w)
+		}
+	}
+	f7 := Fig7(systems, results)
+	for _, w := range []string{"FIGURE 7", "busy", "ld_mem_stall", "dep_stall"} {
+		if !strings.Contains(f7, w) {
+			t.Errorf("Fig7 missing %q", w)
+		}
+	}
+	f8 := Fig8(systems, results)
+	if !strings.Contains(f8, "FIGURE 8") || !strings.Contains(f8, "%") {
+		t.Error("Fig8 malformed")
+	}
+	an := AreaNormalized(systems, results, nil)
+	if !strings.Contains(an, "area-normalized") && !strings.Contains(an, "AREA-NORMALIZED") {
+		t.Error("AreaNormalized malformed")
+	}
+}
+
+func TestBarClamps(t *testing.T) {
+	if bar(-1, 10) != ".........." {
+		t.Error("negative fraction should render empty")
+	}
+	if bar(2, 10) != "##########" {
+		t.Error("overflow fraction should render full")
+	}
+}
+
+func TestFig3Fig5AndListings(t *testing.T) {
+	f3 := Fig3()
+	for _, w := range []string{"FIGURE 3", "bit-serial", "bit-hybrid", "spare shifter"} {
+		if !strings.Contains(f3, w) {
+			t.Errorf("Fig3 missing %q", w)
+		}
+	}
+	f5 := Fig5()
+	for _, w := range []string{"FIGURE 5", "scoreboard", "16 lanes", "store buffer"} {
+		if !strings.Contains(f5, w) {
+			t.Errorf("Fig5 missing %q", w)
+		}
+	}
+	for _, op := range []string{"add", "mul", "divu", "sll4", "slt", "sub"} {
+		out, err := MicroProgramListing(op, 8)
+		if err != nil {
+			t.Fatalf("listing %s: %v", op, err)
+		}
+		if !strings.Contains(out, "tuples") || !strings.Contains(out, "ret") {
+			t.Errorf("listing %s malformed", op)
+		}
+	}
+	if _, err := MicroProgramListing("bogus", 8); err == nil {
+		t.Error("expected error for unknown op")
+	}
+}

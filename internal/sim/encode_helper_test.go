@@ -1,0 +1,37 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// encodeChecker is a Sink asserting binary round-trip of every vector
+// instruction in a dynamic trace.
+type encodeChecker struct {
+	t     *testing.T
+	count int
+}
+
+func (e *encodeChecker) Emit(ev isa.Event) {
+	if ev.Kind != isa.EvVector {
+		return
+	}
+	e.count++
+	word, err := isa.Encode(ev.V)
+	if err != nil {
+		e.t.Fatalf("Encode(%s): %v", isa.Disassemble(ev.V), err)
+	}
+	got, err := isa.Decode(word)
+	if err != nil {
+		e.t.Fatalf("Decode(%#x) for %s: %v", word, isa.Disassemble(ev.V), err)
+	}
+	if got.Op != ev.V.Op {
+		e.t.Fatalf("round trip changed op: %v -> %v", ev.V.Op, got.Op)
+	}
+}
+
+func isaNewBuilderForTest(s isa.Sink) *isa.Builder {
+	return isa.NewBuilder(mem.NewFlat(64<<20), 64, s)
+}

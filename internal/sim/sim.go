@@ -1,0 +1,211 @@
+// Package sim assembles the simulated systems of Table III — IO, O3, O3+IV,
+// O3+DV and O3+EVE-n — and runs benchmark kernels on them: the workload's
+// dynamic trace streams from the ISA builder into the scalar core model and
+// the attached vector engine, coupled the way the paper couples them
+// (commit-time dispatch, queue back-pressure, blocking scalar moves and
+// fences), over a shared timed memory hierarchy.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/analytic"
+	"repro/internal/cpu"
+	"repro/internal/eve"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/vengine"
+	"repro/internal/workloads"
+)
+
+// Kind enumerates the simulated systems.
+type Kind int
+
+// Simulated systems (Table III).
+const (
+	SysIO Kind = iota
+	SysO3
+	SysO3IV
+	SysO3DV
+	SysO3EVE
+)
+
+// Config selects a system; N is the parallelization factor for SysO3EVE.
+type Config struct {
+	Kind Kind
+	N    int
+}
+
+// Name renders the paper's system label.
+func (c Config) Name() string {
+	switch c.Kind {
+	case SysIO:
+		return "IO"
+	case SysO3:
+		return "O3"
+	case SysO3IV:
+		return "O3+IV"
+	case SysO3DV:
+		return "O3+DV"
+	case SysO3EVE:
+		return fmt.Sprintf("O3+EVE-%d", c.N)
+	}
+	return "?"
+}
+
+// AllSystems lists the full Table III / Fig 6 sweep.
+func AllSystems() []Config {
+	out := []Config{{Kind: SysIO}, {Kind: SysO3}, {Kind: SysO3IV}, {Kind: SysO3DV}}
+	for _, n := range []int{1, 2, 4, 8, 16, 32} {
+		out = append(out, Config{Kind: SysO3EVE, N: n})
+	}
+	return out
+}
+
+// Result is one (system, kernel) simulation outcome.
+type Result struct {
+	System    string
+	Kernel    string
+	Cycles    int64
+	Mix       isa.Mix
+	Breakdown eve.Breakdown // zero except for EVE systems
+	VMUStall  float64       // Fig 8 metric, EVE only
+	SpawnCost int64         // EVE only
+	EnergyEq  float64       // EVE array energy in read-equivalents (§VI-B)
+	LLC       mem.CacheStats
+	Err       error // output validation failure, if any
+}
+
+// sink couples the trace to a core and an optional vector engine.
+type sink struct {
+	core   *cpu.Core
+	engine vengine.Engine
+}
+
+// Emit implements isa.Sink.
+func (s *sink) Emit(ev isa.Event) {
+	switch ev.Kind {
+	case isa.EvScalar:
+		s.core.Ops(ev.N)
+	case isa.EvScalarMul:
+		s.core.Muls(ev.N)
+	case isa.EvLoad:
+		s.core.Load(ev.Addr)
+	case isa.EvStore:
+		s.core.Store(ev.Addr)
+	case isa.EvVector:
+		if s.engine == nil {
+			panic("sim: vector instruction on a scalar-only system")
+		}
+		// Vector instructions dispatch at commit (§V-A); the VCU queue or a
+		// blocking reply (vmv.x.s, vmfence) may stall the core.
+		if block := s.engine.Handle(ev.V, s.core.Now()); block > 0 {
+			s.core.AdvanceTo(block)
+		}
+	}
+}
+
+// Run simulates one kernel on one system.
+func Run(cfg Config, k *workloads.Kernel) Result {
+	h := mem.NewHierarchy()
+	flat := mem.NewFlat(64 << 20)
+
+	coreCfg := cpu.O3Config
+	if cfg.Kind == SysIO {
+		coreCfg = cpu.IOConfig
+	}
+	if cfg.Kind == SysO3EVE {
+		// EVE-16/32 stretch the chip's SRAM-limited cycle time, slowing the
+		// scalar core as well (§VII-B).
+		coreCfg.ClockScale = analytic.ClockPenalty(cfg.N)
+	}
+	core := cpu.New(coreCfg, h)
+
+	res := Result{System: cfg.Name(), Kernel: k.Name}
+	var engine vengine.Engine
+	var eveEng *eve.Engine
+	vector := true
+	hwvl := 1
+
+	switch cfg.Kind {
+	case SysIO, SysO3:
+		vector = false
+	case SysO3IV:
+		engine = vengine.NewIV(core)
+		hwvl = vengine.IVHWVL
+	case SysO3DV:
+		engine = vengine.NewDV(vengine.DefaultDVConfig(), h.L2)
+		hwvl = engine.HWVL()
+	case SysO3EVE:
+		eveEng = eve.New(eve.DefaultConfig(cfg.N), h.LLC)
+		eveEng.Spawn(h.SpawnEVE(), 0)
+		engine = eveEng
+		hwvl = eveEng.HWVL()
+	}
+
+	b := isa.NewBuilder(flat, max(hwvl, 1), &sink{core: core, engine: engine})
+	check := k.Run(b, vector)
+	res.Err = check()
+	res.Mix = b.Mix()
+
+	cycles := core.Now()
+	if engine != nil {
+		if d := engine.Drain(); d > cycles {
+			cycles = d
+		}
+	}
+	res.Cycles = cycles
+	if eveEng != nil {
+		res.Breakdown = eveEng.Breakdown()
+		res.VMUStall = eveEng.VMUIssueStallFraction()
+		res.SpawnCost = eveEng.SpawnCost()
+		res.EnergyEq = eveEng.EnergyReadEq()
+	}
+	res.LLC = h.LLC.Stats()
+	return res
+}
+
+// RunEVE simulates a kernel on O3+EVE with a custom engine configuration
+// and memory hierarchy — the entry point for ablation studies (DTU count,
+// array count, LLC MSHRs). Pass nil for the Table III hierarchy.
+func RunEVE(ecfg eve.Config, h *mem.Hierarchy, k *workloads.Kernel) Result {
+	if h == nil {
+		h = mem.NewHierarchy()
+	}
+	flat := mem.NewFlat(64 << 20)
+	coreCfg := cpu.O3Config
+	coreCfg.ClockScale = analytic.ClockPenalty(ecfg.N)
+	core := cpu.New(coreCfg, h)
+	eveEng := eve.New(ecfg, h.LLC)
+	eveEng.Spawn(h.SpawnEVE(), 0)
+
+	b := isa.NewBuilder(flat, eveEng.HWVL(), &sink{core: core, engine: eveEng})
+	check := k.Run(b, true)
+	res := Result{System: fmt.Sprintf("O3+EVE-%d(custom)", ecfg.N), Kernel: k.Name}
+	res.Err = check()
+	res.Mix = b.Mix()
+	cycles := core.Now()
+	if d := eveEng.Drain(); d > cycles {
+		cycles = d
+	}
+	res.Cycles = cycles
+	res.Breakdown = eveEng.Breakdown()
+	res.VMUStall = eveEng.VMUIssueStallFraction()
+	res.SpawnCost = eveEng.SpawnCost()
+	res.EnergyEq = eveEng.EnergyReadEq()
+	res.LLC = h.LLC.Stats()
+	return res
+}
+
+// Matrix runs every kernel on every system, returning results indexed
+// [kernel][system].
+func Matrix(systems []Config, kernels []*workloads.Kernel) [][]Result {
+	out := make([][]Result, len(kernels))
+	for i, k := range kernels {
+		out[i] = make([]Result, len(systems))
+		for j, s := range systems {
+			out[i][j] = Run(s, k)
+		}
+	}
+	return out
+}

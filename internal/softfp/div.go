@@ -1,0 +1,60 @@
+package softfp
+
+import "repro/internal/isa"
+
+// Division via Newton-Raphson reciprocal refinement, composed entirely from
+// the Add32/Mul32 building blocks: r₀ comes from the classic bit-trick
+// initial estimate (exponent negation by constant subtraction), three
+// iterations of r ← r·(2 − b·r) refine it to binary32 precision, and a
+// final multiply produces a/b. Everything inherits the package's truncation
+// rounding; the divisor must be a nonzero finite normal (no ∞/NaN special
+// cases, divisor zero diverges — as documented for the whole package).
+
+// recipMagic is the bit-level initial estimate constant for 1/x: subtracting
+// the operand's bits from it negates the exponent around 1.0 and linearly
+// approximates the mantissa, giving a start good to ~3 bits.
+const recipMagic = uint32(0x7EF311C3)
+
+// Additional temporaries for division (still within the package's v20-v31
+// clobber set is impossible — Add32/Mul32 clobber all of them — so division
+// stages its running values in the caller-visible ISA registers v16-v19 and
+// widens the documented clobber range to v16-v31).
+const (
+	dR = 16 // reciprocal estimate
+	dB = 17 // divisor copy
+	dT = 18 // b·r / correction term
+	dA = 19 // dividend copy
+)
+
+// two is the binary32 constant 2.0.
+const two = uint32(0x40000000)
+
+// Div32 computes vd[i] = va[i] / vb[i] in binary32. Clobbers v0 and
+// v16-v31; vd, va, vb must lie outside that range.
+func Div32(b *isa.Builder, vd, va, vb int) {
+	b.Mv(dA, va)
+	b.Mv(dB, vb)
+	// Initial estimate r0 = magic - bits(b).
+	b.RSubVX(dR, dB, recipMagic)
+	// Three Newton iterations: r = r * (2 - b*r).
+	for i := 0; i < 3; i++ {
+		Mul32(b, dT, dB, dR)      // t = b*r
+		b.XorVX(dT, dT, signMask) // t = -t
+		b.MvVX(tPad, two)         // 2.0 — tPad is free between calls
+		Add32(b, dT, tPad, dT)    // t = 2 - b*r
+		Mul32(b, dR, dR, dT)      // r *= t
+	}
+	Mul32(b, vd, dA, dR)
+}
+
+// ReferenceDiv32 is the bit-exact pure-Go model of Div32: the same
+// composition of the reference primitives.
+func ReferenceDiv32(a, bv uint32) uint32 {
+	r := recipMagic - bv
+	for i := 0; i < 3; i++ {
+		t := ReferenceMul32(bv, r) ^ signMask
+		t = ReferenceAdd32(two, t)
+		r = ReferenceMul32(r, t)
+	}
+	return ReferenceMul32(a, r)
+}

@@ -1,0 +1,255 @@
+// Package softfp implements IEEE-754 binary32 addition and multiplication
+// as sequences of EVE's integer vector instructions — the paper's §IX
+// future-work direction ("future research can explore using bit-hybrid
+// execution to balance latency and throughput for floating-point
+// operations"), realized the way an integer-only engine runs FP today:
+// branch-free softfloat over the vector ISA, with every data-dependent
+// decision expressed through predication, so the cost stays
+// data-independent like the underlying micro-programs.
+//
+// Semantics: round-toward-zero (bits shifted out during alignment are
+// truncated; no guard/round/sticky bits), denormals flushed to zero, and no
+// NaN handling (exponent overflow clamps to ∞). The pure-Go Reference
+// functions implement the identical algorithm, so vector and reference
+// results are bit-exact; against IEEE round-to-nearest the mantissa error
+// is bounded by a couple of ulps (checked in tests).
+//
+// Register convention: the routines clobber v0 (the predicate register)
+// and v20-v31; operands and the destination must lie outside that range.
+package softfp
+
+import "repro/internal/isa"
+
+// binary32 field layout.
+const (
+	signMask = uint32(0x80000000)
+	manMask  = uint32(0x007FFFFF)
+	expMask  = uint32(0x7F800000)
+	hidden   = uint32(1) << 23
+	expBias  = 127
+	infBits  = uint32(0x7F800000)
+)
+
+// Temporaries (v20-v31).
+const (
+	tSign = 20
+	tEA   = 21
+	tEB   = 22
+	tMA   = 23
+	tMB   = 24
+	tE    = 25
+	tM    = 26
+	tT1   = 27
+	tT2   = 28
+	tFlag = 29
+	tCmp  = 30
+	tPad  = 31
+)
+
+// unpack splits raw bits va into exponent ve and mantissa-with-hidden-bit
+// vm, flushing denormals (exponent field 0) to a zero mantissa. Clobbers v0
+// and tPad; va may be any register except ve, vm, tPad.
+func unpack(b *isa.Builder, ve, vm, va int) {
+	b.SrlVX(ve, va, 23)
+	b.AndVX(ve, ve, 0xFF)
+	b.AndVX(vm, va, manMask)
+	b.OrVX(vm, vm, hidden)
+	b.MSeqVX(0, ve, 0)
+	b.MvVX(tPad, 0)
+	b.Merge(vm, tPad, vm)
+}
+
+// pack assembles sign | exponent | mantissa into vd, flushing
+// unnormalizable or zero mantissas (m < 2^23) and negative/zero exponents
+// to signed zero, and clamping exponent overflow (≥ 255) to ∞. ve may hold
+// a wrapped-negative two's-complement value. Clobbers v0, tT1, tT2, tCmp.
+func pack(b *isa.Builder, vd, vs, ve, vm int) {
+	b.AndVX(tT1, vm, manMask)
+	b.SllVX(tT2, ve, 23)
+	b.AndVX(tT2, tT2, expMask)
+	b.Or(vd, tT2, tT1)
+	b.Or(vd, vd, vs)
+	// m below the hidden bit (zero or unnormalizable) → ±0.
+	b.MSltUVX(0, vm, hidden)
+	b.Merge(vd, vs, vd)
+	// Wrapped-negative or zero exponent → ±0.
+	b.MSgtUVX(0, ve, 0x7FFFFFFF)
+	b.Merge(vd, vs, vd)
+	b.MSeqVX(0, ve, 0)
+	b.Merge(vd, vs, vd)
+	// Exponent ≥ 255 (and not negative, and m normalized) → ±∞.
+	b.MSltUVX(tCmp, ve, 255)
+	b.MSeqVX(0, tCmp, 0) // ve ≥ 255
+	b.MSgtUVX(tCmp, ve, 0x7FFFFFFF)
+	b.MSeqVX(tCmp, tCmp, 0) // ve not wrapped-negative
+	b.And(0, 0, tCmp)
+	b.MSltUVX(tCmp, vm, hidden)
+	b.MSeqVX(tCmp, tCmp, 0) // m normalized
+	b.And(0, 0, tCmp)
+	b.MvVX(tT2, infBits)
+	b.Or(tT2, tT2, vs)
+	b.Merge(vd, tT2, vd)
+}
+
+// Add32 computes vd[i] = va[i] + vb[i] in binary32 with truncation
+// rounding. Clobbers v0 and v20-v31.
+func Add32(b *isa.Builder, vd, va, vb int) {
+	// Order by magnitude so A is the larger |operand|: the mantissa
+	// difference is then non-negative and the result takes A's sign.
+	b.AndVX(tT1, va, ^signMask)
+	b.AndVX(tT2, vb, ^signMask)
+	b.MSltU(0, tT1, tT2)
+	b.Merge(tMA, vb, va) // A raw bits (tMA reused as staging)
+	b.Merge(tMB, va, vb) // B raw bits
+
+	b.AndVX(tSign, tMA, signMask)
+	b.Xor(tFlag, tMA, tMB)
+	b.SrlVX(tFlag, tFlag, 31) // 1 when the signs differ
+
+	b.Mv(tT1, tMA)
+	b.Mv(tT2, tMB)
+	unpack(b, tEA, tMA, tT1)
+	unpack(b, tEB, tMB, tT2)
+
+	// Align B's mantissa to A's exponent, truncating shifted-out bits;
+	// differences beyond 31 zero it outright (the ISA shifts mod 32).
+	b.Sub(tE, tEA, tEB)
+	b.Srl(tM, tMB, tE)
+	b.MSgtUVX(0, tE, 31)
+	b.MvVX(tCmp, 0)
+	b.Merge(tM, tCmp, tM)
+
+	// m = mA ± mBaligned, selected by the sign-difference flag.
+	b.Add(tT1, tMA, tM)
+	b.Sub(tT2, tMA, tM)
+	b.MSeqVX(0, tFlag, 1)
+	b.Merge(tM, tT2, tT1)
+
+	// Same-sign overflow into [2^24, 2^25): one shift-down step.
+	b.MSgtUVX(0, tM, hidden*2-1)
+	b.SrlVX(tT1, tM, 1)
+	b.Merge(tM, tT1, tM)
+	b.AddVX(tT1, tEA, 1)
+	b.Merge(tEA, tT1, tEA)
+
+	// Opposite-sign cancellation: renormalize with a predicated binary CLZ
+	// (m <<= k, e -= k while m is small and the exponent allows it).
+	for _, k := range []uint32{16, 8, 4, 2, 1} {
+		b.MSltUVX(tCmp, tM, uint32(1)<<(24-k)) // shifting by k keeps m < 2^24
+		b.MSgtUVX(tT1, tM, 0)
+		b.And(tCmp, tCmp, tT1)
+		b.MSgtUVX(tT1, tEA, k)
+		b.And(tCmp, tCmp, tT1)
+		b.Mv(0, tCmp)
+		b.SllVX(tT1, tM, k)
+		b.Merge(tM, tT1, tM)
+		b.SubVX(tT1, tEA, k)
+		b.Merge(tEA, tT1, tEA)
+	}
+
+	pack(b, vd, tSign, tEA, tM)
+}
+
+// Mul32 computes vd[i] = va[i] × vb[i] in binary32 with truncation
+// rounding. Clobbers v0 and v20-v31.
+func Mul32(b *isa.Builder, vd, va, vb int) {
+	b.Xor(tSign, va, vb)
+	b.AndVX(tSign, tSign, signMask)
+
+	unpack(b, tEA, tMA, va)
+	unpack(b, tEB, tMB, vb)
+
+	// e = eA + eB - bias.
+	b.Add(tE, tEA, tEB)
+	b.SubVX(tE, tE, expBias)
+
+	// 24×24-bit product: top bits from vmulhu, low bits from vmul;
+	// mantissa = product >> 23 = (hi << 9) | (lo >> 23) ∈ [2^23, 2^25).
+	b.MulH(tT1, tMA, tMB)
+	b.Mul(tT2, tMA, tMB)
+	b.SllVX(tT1, tT1, 9)
+	b.SrlVX(tT2, tT2, 23)
+	b.Or(tM, tT1, tT2)
+
+	// Normalize the [1,4) product: one conditional shift-down step.
+	b.MSgtUVX(0, tM, hidden*2-1)
+	b.SrlVX(tT1, tM, 1)
+	b.Merge(tM, tT1, tM)
+	b.AddVX(tT1, tE, 1)
+	b.Merge(tE, tT1, tE)
+
+	// A zero operand flushed the mantissa; pack's m < 2^23 rule handles it.
+	pack(b, vd, tSign, tE, tM)
+}
+
+// ReferenceAdd32 is the bit-exact pure-Go model of Add32.
+func ReferenceAdd32(a, b uint32) uint32 {
+	if b&^signMask > a&^signMask {
+		a, b = b, a
+	}
+	sign := a & signMask
+	signDiff := (a^b)&signMask != 0
+	ea, ma := unpackRef(a)
+	eb, mb := unpackRef(b)
+	d := ea - eb
+	var mba uint32
+	if d <= 31 {
+		mba = mb >> d
+	}
+	var m uint32
+	if signDiff {
+		m = ma - mba
+	} else {
+		m = ma + mba
+	}
+	e := ea
+	if m >= hidden*2 {
+		m >>= 1
+		e++
+	}
+	for _, k := range []uint32{16, 8, 4, 2, 1} {
+		if m > 0 && m < uint32(1)<<(24-k) && e > k {
+			m <<= k
+			e -= k
+		}
+	}
+	return packRef(sign, e, m)
+}
+
+// ReferenceMul32 is the bit-exact pure-Go model of Mul32.
+func ReferenceMul32(a, b uint32) uint32 {
+	sign := (a ^ b) & signMask
+	ea, ma := unpackRef(a)
+	eb, mb := unpackRef(b)
+	e := ea + eb - expBias
+	m := uint32(uint64(ma) * uint64(mb) >> 23)
+	if m >= hidden*2 {
+		m >>= 1
+		e++
+	}
+	return packRef(sign, e, m)
+}
+
+func unpackRef(x uint32) (e, m uint32) {
+	e = x >> 23 & 0xFF
+	m = x & manMask
+	if e != 0 {
+		m |= hidden
+	} else {
+		m = 0
+	}
+	return e, m
+}
+
+func packRef(sign, e, m uint32) uint32 {
+	if m < hidden {
+		return sign
+	}
+	if e > 0x7FFFFFFF || e == 0 {
+		return sign
+	}
+	if e >= 255 {
+		return sign | infBits
+	}
+	return sign | e<<23 | m&manMask
+}

@@ -1,0 +1,244 @@
+package softfp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// runOp executes the vector softfloat routine over the operand slices and
+// returns the raw results.
+func runOp(t *testing.T, op func(b *isa.Builder, vd, va, vb int), a, b []uint32) []uint32 {
+	t.Helper()
+	bld := isa.NewBuilder(mem.NewFlat(1<<20), len(a), nil)
+	bld.SetVL(len(a))
+	copy(bld.VReg(1), a)
+	copy(bld.VReg(2), b)
+	op(bld, 3, 1, 2)
+	out := make([]uint32, len(a))
+	copy(out, bld.VReg(3))
+	return out
+}
+
+// interesting binary32 values (finite; NaN/∞ inputs are out of scope).
+var fpEdges = []float32{
+	0, 1, -1, 0.5, -0.5, 2, 3.14159, -2.71828,
+	1e-30, -1e-30, 1e30, -1e30, 1.5e-38, 3e38,
+	123456.78, -0.000123, 16777216, // 2^24, the mantissa boundary
+}
+
+func bitsOf(f float32) uint32  { return math.Float32bits(f) }
+func floatOf(u uint32) float32 { return math.Float32frombits(u) }
+
+// ulpDiff returns the distance in representable float32 steps, treating
+// ±0 as equal.
+func ulpDiff(a, b uint32) uint64 {
+	fa, fb := floatOf(a), floatOf(b)
+	if fa == fb {
+		return 0
+	}
+	oa, ob := orderKey(a), orderKey(b)
+	if oa > ob {
+		return uint64(oa - ob)
+	}
+	return uint64(ob - oa)
+}
+
+// orderKey maps float bits to a monotone integer line.
+func orderKey(u uint32) int64 {
+	if u&0x80000000 != 0 {
+		return -int64(u &^ 0x80000000)
+	}
+	return int64(u)
+}
+
+// TestVectorMatchesReference checks the vector routines are bit-exact with
+// the pure-Go model on edge values and random operands.
+func TestVectorMatchesReference(t *testing.T) {
+	ops := []struct {
+		name string
+		vec  func(b *isa.Builder, vd, va, vb int)
+		ref  func(a, b uint32) uint32
+	}{
+		{"add", Add32, ReferenceAdd32},
+		{"mul", Mul32, ReferenceMul32},
+	}
+	rng := rand.New(rand.NewSource(17))
+	randFinite := func() uint32 {
+		for {
+			u := rng.Uint32()
+			if e := u >> 23 & 0xFF; e != 0 && e != 255 {
+				return u
+			}
+		}
+	}
+	for _, op := range ops {
+		var a, b []uint32
+		for _, x := range fpEdges {
+			for _, y := range fpEdges {
+				a = append(a, bitsOf(x))
+				b = append(b, bitsOf(y))
+			}
+		}
+		for i := 0; i < 200; i++ {
+			a = append(a, randFinite())
+			b = append(b, randFinite())
+		}
+		got := runOp(t, op.vec, a, b)
+		for i := range got {
+			want := op.ref(a[i], b[i])
+			if got[i] != want {
+				t.Fatalf("%s(%g,%g) = %#x (%g), reference %#x (%g)",
+					op.name, floatOf(a[i]), floatOf(b[i]),
+					got[i], floatOf(got[i]), want, floatOf(want))
+			}
+		}
+	}
+}
+
+// TestCloseToIEEE bounds the truncation error against hardware float32:
+// results must be within a few ulps (and exact when the operation is exact).
+func TestCloseToIEEE(t *testing.T) {
+	const maxUlp = 4
+	rng := rand.New(rand.NewSource(99))
+	check := func(name string, ref func(a, b uint32) uint32, gold func(x, y float32) float32, x, y float32) {
+		t.Helper()
+		got := ref(bitsOf(x), bitsOf(y))
+		want := gold(x, y)
+		// Out-of-scope outputs: overflow/underflow handling differs (no
+		// denormals, clamp-to-∞).
+		if math.IsInf(float64(want), 0) || (want != 0 && math.Abs(float64(want)) < 1.2e-38) {
+			return
+		}
+		if d := ulpDiff(got, bitsOf(want)); d > maxUlp {
+			t.Errorf("%s(%g, %g) = %g, IEEE %g (%d ulp)", name, x, y, floatOf(got), want, d)
+		}
+	}
+	for i := 0; i < 3000; i++ {
+		x := float32(rng.NormFloat64()) * float32(math.Pow(10, float64(rng.Intn(12)-6)))
+		y := float32(rng.NormFloat64()) * float32(math.Pow(10, float64(rng.Intn(12)-6)))
+		check("add", ReferenceAdd32, func(a, b float32) float32 { return a + b }, x, y)
+		check("mul", ReferenceMul32, func(a, b float32) float32 { return a * b }, x, y)
+	}
+	for _, x := range fpEdges {
+		for _, y := range fpEdges {
+			check("add", ReferenceAdd32, func(a, b float32) float32 { return a + b }, x, y)
+			check("mul", ReferenceMul32, func(a, b float32) float32 { return a * b }, x, y)
+		}
+	}
+}
+
+// Property: addition is commutative and x + 0 = x.
+func TestAddProperties(t *testing.T) {
+	f := func(ar, br uint32) bool {
+		// Constrain to finite normals.
+		a := ar&^uint32(0x7F800000) | 0x3F800000&^(ar&0x40000000)
+		b := br&^uint32(0x7F800000) | 0x40000000
+		if ReferenceAdd32(a, b) != ReferenceAdd32(b, a) {
+			return false
+		}
+		return ReferenceAdd32(a, 0) == a || floatOf(a) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: multiplication by 1 is identity, by 0 is signed zero magnitude.
+func TestMulProperties(t *testing.T) {
+	one := bitsOf(1)
+	f := func(ar uint32) bool {
+		a := ar&^uint32(0x7F800000) | 0x3F000000 // force a sane exponent
+		if ReferenceMul32(a, one) != a {
+			return false
+		}
+		z := ReferenceMul32(a, 0)
+		return z&^signMask == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExactCasesAreExact: sums and products exactly representable in 24
+// bits must match IEEE bit-for-bit (truncation never fires).
+func TestExactCasesAreExact(t *testing.T) {
+	cases := [][2]float32{
+		{1, 2}, {0.5, 0.25}, {3, 5}, {1024, 4096}, {-7, 7}, {-3, 1.5},
+		{65536, 1}, {0.125, -0.125},
+	}
+	for _, c := range cases {
+		if got := ReferenceAdd32(bitsOf(c[0]), bitsOf(c[1])); floatOf(got) != c[0]+c[1] {
+			t.Errorf("add(%g,%g) = %g, want %g", c[0], c[1], floatOf(got), c[0]+c[1])
+		}
+		if got := ReferenceMul32(bitsOf(c[0]), bitsOf(c[1])); floatOf(got) != c[0]*c[1] {
+			t.Errorf("mul(%g,%g) = %g, want %g", c[0], c[1], floatOf(got), c[0]*c[1])
+		}
+	}
+}
+
+// TestDivMatchesReference checks vector division is bit-exact with its
+// reference composition.
+func TestDivMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	var a, b []uint32
+	for _, x := range fpEdges {
+		for _, y := range fpEdges {
+			if y == 0 {
+				continue
+			}
+			a = append(a, bitsOf(x))
+			b = append(b, bitsOf(y))
+		}
+	}
+	for i := 0; i < 100; i++ {
+		x := float32(rng.NormFloat64() * 100)
+		y := float32(rng.NormFloat64()*10 + 0.5)
+		if y == 0 {
+			continue
+		}
+		a = append(a, bitsOf(x))
+		b = append(b, bitsOf(y))
+	}
+	got := runOp(t, Div32, a, b)
+	for i := range got {
+		want := ReferenceDiv32(a[i], b[i])
+		if got[i] != want {
+			t.Fatalf("div(%g,%g) = %#x, reference %#x",
+				floatOf(a[i]), floatOf(b[i]), got[i], want)
+		}
+	}
+}
+
+// TestDivCloseToIEEE bounds the Newton-Raphson + truncation error against
+// hardware float32 division.
+func TestDivCloseToIEEE(t *testing.T) {
+	const maxUlp = 16 // three truncating NR iterations + final multiply
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 2000; i++ {
+		x := float32(rng.NormFloat64()) * float32(math.Pow(10, float64(rng.Intn(10)-5)))
+		y := float32(rng.NormFloat64()) * float32(math.Pow(10, float64(rng.Intn(10)-5)))
+		if y == 0 || x == 0 {
+			continue
+		}
+		want := x / y
+		if math.IsInf(float64(want), 0) || math.Abs(float64(want)) < 1.2e-38 {
+			continue
+		}
+		got := ReferenceDiv32(bitsOf(x), bitsOf(y))
+		if d := ulpDiff(got, bitsOf(want)); d > maxUlp {
+			t.Errorf("div(%g, %g) = %g, IEEE %g (%d ulp)", x, y, floatOf(got), want, d)
+		}
+	}
+	// Exact cases.
+	for _, c := range [][2]float32{{10, 2}, {1, 4}, {-9, 3}, {7.5, -2.5}} {
+		got := floatOf(ReferenceDiv32(bitsOf(c[0]), bitsOf(c[1])))
+		if d := ulpDiff(bitsOf(got), bitsOf(c[0]/c[1])); d > 1 {
+			t.Errorf("div(%g,%g) = %g, want %g", c[0], c[1], got, c[0]/c[1])
+		}
+	}
+}

@@ -1,0 +1,178 @@
+// Package sram models an EVE SRAM array: a 6T-SRAM storage core whose
+// differential sense amplifiers can be reconfigured into single-ended mode so
+// that activating two wordlines simultaneously computes bit-wise logical
+// operations on the bitlines (bit-line compute, after Jeloka et al.). A
+// bit-line compute yields AND, NAND, OR and NOR of the two selected wordlines
+// in one array access; the EVE peripheral circuit stacks (internal/circuits)
+// consume those outputs.
+//
+// The physical EVE SRAM in the paper is two banked 256×128 sub-arrays
+// presenting a 256×256 logical array. The functional model here is a single
+// logical array of configurable geometry; the banked physical split only
+// affects area (internal/analytic), not logical behaviour.
+package sram
+
+import (
+	"fmt"
+
+	"repro/internal/bitmat"
+)
+
+// Standard EVE SRAM geometry from the paper (§VI): a sub-array is 256×128,
+// and an EVE SRAM is two banked sub-arrays, logically 256 rows × 256 columns.
+const (
+	SubArrayRows = 256
+	SubArrayCols = 128
+	ArrayRows    = 256
+	ArrayCols    = 2 * SubArrayCols
+)
+
+// AccessStats counts array-level operations, the inputs to the energy model
+// (§VI: blc costs ~20% more than a read; reads and writes match vanilla SRAM).
+type AccessStats struct {
+	Reads  uint64
+	Writes uint64
+	BLCs   uint64
+}
+
+// Array is one EVE SRAM logical array: a bit matrix plus the reconfigurable
+// sense-amplifier outputs of the most recent bit-line compute.
+type Array struct {
+	mat *bitmat.Matrix
+
+	// Sense-amplifier outputs, valid after BitLineCompute until the next
+	// array operation that drives the bitlines.
+	and, nand, or, nor bitmat.Row
+	senseValid         bool
+
+	stats AccessStats
+}
+
+// New returns a zeroed array with the given geometry.
+func New(rows, cols int) *Array {
+	return &Array{
+		mat:  bitmat.NewMatrix(rows, cols),
+		and:  bitmat.NewRow(cols),
+		nand: bitmat.NewRow(cols),
+		or:   bitmat.NewRow(cols),
+		nor:  bitmat.NewRow(cols),
+	}
+}
+
+// NewStandard returns an array with the paper's 256×256 logical geometry.
+func NewStandard() *Array { return New(ArrayRows, ArrayCols) }
+
+// Rows reports the number of wordlines.
+func (a *Array) Rows() int { return a.mat.Rows() }
+
+// Cols reports the number of bitlines.
+func (a *Array) Cols() int { return a.mat.Cols() }
+
+// Stats returns a snapshot of the access counters.
+func (a *Array) Stats() AccessStats { return a.stats }
+
+// ResetStats zeroes the access counters.
+func (a *Array) ResetStats() { a.stats = AccessStats{} }
+
+// Read performs a normal (differential) SRAM read of wordline row, returning
+// a snapshot of its contents.
+func (a *Array) Read(row int) bitmat.Row {
+	a.stats.Reads++
+	a.senseValid = false
+	return a.mat.Row(row).Clone()
+}
+
+// Peek returns the live contents of a wordline without modeling an access.
+// It is for testing and debugging only.
+func (a *Array) Peek(row int) bitmat.Row { return a.mat.Row(row) }
+
+// Write performs a full-width SRAM write of data into wordline row.
+func (a *Array) Write(row int, data bitmat.Row) {
+	a.stats.Writes++
+	a.senseValid = false
+	a.mat.WriteRow(row, data)
+}
+
+// WriteMasked writes data into wordline row only at columns where mask is
+// set, modeling per-column write enables.
+func (a *Array) WriteMasked(row int, data, mask bitmat.Row) {
+	a.stats.Writes++
+	a.senseValid = false
+	a.mat.WriteRowMasked(row, data, mask)
+}
+
+// BitLineCompute activates wordlines ra and rb simultaneously with the sense
+// amplifiers in single-ended mode, computing the four bit-wise logical
+// operations of the two rows in one access. ra may equal rb, which yields
+// and=or=row and nand=nor=complement — the idiom used to read a row's
+// complement without extra hardware.
+func (a *Array) BitLineCompute(ra, rb int) {
+	a.stats.BLCs++
+	ra2, rb2 := a.mat.Row(ra), a.mat.Row(rb)
+	a.and.And(ra2, rb2)
+	a.or.Or(ra2, rb2)
+	a.nand.Not(a.and)
+	a.nor.Not(a.or)
+	a.senseValid = true
+}
+
+// SenseValid reports whether the sense-amplifier outputs are valid (a
+// bit-line compute has happened since the last read/write).
+func (a *Array) SenseValid() bool { return a.senseValid }
+
+// And returns the AND output of the last bit-line compute.
+func (a *Array) And() bitmat.Row { return a.mustSense(a.and) }
+
+// Nand returns the NAND output of the last bit-line compute.
+func (a *Array) Nand() bitmat.Row { return a.mustSense(a.nand) }
+
+// Or returns the OR output of the last bit-line compute.
+func (a *Array) Or() bitmat.Row { return a.mustSense(a.or) }
+
+// Nor returns the NOR output of the last bit-line compute.
+func (a *Array) Nor() bitmat.Row { return a.mustSense(a.nor) }
+
+func (a *Array) mustSense(r bitmat.Row) bitmat.Row {
+	if !a.senseValid {
+		panic("sram: sense-amplifier outputs read without a preceding bit-line compute")
+	}
+	return r
+}
+
+// Reset zeroes the storage core and invalidates the sense outputs.
+func (a *Array) Reset() {
+	a.mat.Reset()
+	a.senseValid = false
+}
+
+// StoreUint32 writes the 32-bit value v into the array "vertically" at the
+// given column group: bit k of v goes to row baseRow+k/segBits, column
+// colBase+k%segBits. segBits is the parallelization factor n; the value
+// occupies 32/n consecutive rows. This is the transposed segment layout data
+// arrives in after the DTU (§V).
+func (a *Array) StoreUint32(v uint32, baseRow, colBase, segBits int) {
+	if 32%segBits != 0 {
+		panic(fmt.Sprintf("sram: segment width %d does not divide 32", segBits))
+	}
+	for k := 0; k < 32; k++ {
+		row := baseRow + k/segBits
+		col := colBase + k%segBits
+		a.mat.SetBit(row, col, v>>uint(k)&1 == 1)
+	}
+}
+
+// LoadUint32 reads back a 32-bit value stored by StoreUint32.
+func (a *Array) LoadUint32(baseRow, colBase, segBits int) uint32 {
+	if 32%segBits != 0 {
+		panic(fmt.Sprintf("sram: segment width %d does not divide 32", segBits))
+	}
+	var v uint32
+	for k := 0; k < 32; k++ {
+		row := baseRow + k/segBits
+		col := colBase + k%segBits
+		if a.mat.Bit(row, col) {
+			v |= 1 << uint(k)
+		}
+	}
+	return v
+}

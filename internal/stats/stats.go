@@ -1,0 +1,47 @@
+// Package stats provides the small numeric helpers the evaluation uses:
+// geometric means, normalization, and percentage formatting.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Geomean returns the geometric mean of xs, ignoring non-positive entries
+// (which would otherwise poison the product); it returns 0 for an empty or
+// all-non-positive input.
+func Geomean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Speedup returns base/t, guarding division by zero.
+func Speedup(base, t float64) float64 {
+	if t == 0 {
+		return 0
+	}
+	return base / t
+}
+
+// Normalize divides each element by base.
+func Normalize(xs []float64, base float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		if base != 0 {
+			out[i] = x / base
+		}
+	}
+	return out
+}
+
+// Pct formats a fraction as a percentage string.
+func Pct(f float64) string { return fmt.Sprintf("%.0f%%", f*100) }

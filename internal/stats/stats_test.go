@@ -1,0 +1,60 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-9 {
+		t.Fatalf("Geomean(2,8) = %f, want 4", g)
+	}
+	if g := Geomean([]float64{5}); math.Abs(g-5) > 1e-9 {
+		t.Fatalf("Geomean(5) = %f", g)
+	}
+	if g := Geomean(nil); g != 0 {
+		t.Fatalf("Geomean(nil) = %f, want 0", g)
+	}
+	// Non-positive entries are ignored rather than poisoning the product.
+	if g := Geomean([]float64{0, -3, 4}); math.Abs(g-4) > 1e-9 {
+		t.Fatalf("Geomean with non-positives = %f, want 4", g)
+	}
+}
+
+// Property: the geomean of positive values lies between min and max.
+func TestGeomeanBounds(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		lo, hi := math.MaxFloat64, 0.0
+		for i, r := range raw {
+			xs[i] = float64(r) + 1
+			lo = math.Min(lo, xs[i])
+			hi = math.Max(hi, xs[i])
+		}
+		g := Geomean(xs)
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpeedupAndNormalize(t *testing.T) {
+	if Speedup(100, 25) != 4 {
+		t.Fatal("Speedup wrong")
+	}
+	if Speedup(100, 0) != 0 {
+		t.Fatal("Speedup by zero should be 0")
+	}
+	n := Normalize([]float64{2, 4, 8}, 2)
+	if n[0] != 1 || n[2] != 4 {
+		t.Fatalf("Normalize = %v", n)
+	}
+	if Pct(0.117) != "12%" {
+		t.Fatalf("Pct = %s", Pct(0.117))
+	}
+}

@@ -1,0 +1,68 @@
+package uop
+
+import "testing"
+
+func TestRowRefResolve(t *testing.T) {
+	var iters [NumCounters]int
+	iters[Seg0] = 3
+
+	if got := Row(10).Resolve(&iters); got != 10 {
+		t.Fatalf("fixed ref = %d", got)
+	}
+	if got := RowBy(10, Seg0, 2).Resolve(&iters); got != 16 {
+		t.Fatalf("indexed ref = %d, want 16", got)
+	}
+	if got := RowBy(100, Seg0, -1).Resolve(&iters); got != 97 {
+		t.Fatalf("negative stride ref = %d, want 97", got)
+	}
+}
+
+func TestExtRefResolve(t *testing.T) {
+	var iters [NumCounters]int
+	iters[Bit1] = 5
+	if got := Ext(2).Resolve(&iters); got != 2 {
+		t.Fatalf("fixed ext = %d", got)
+	}
+	if got := ExtBy(1, Bit1).Resolve(&iters); got != 6 {
+		t.Fatalf("indexed ext = %d", got)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	cases := map[string]string{
+		Seg0.String():       "seg_cnt[0]",
+		Bit3.String():       "bit_cnt[3]",
+		Arr2.String():       "arr_cnt[2]",
+		SrcAdd.String():     "add",
+		SrcExt.String():     "data_in",
+		DstDataOut.String(): "data_out",
+		ABLC.String():       "blc",
+		AMaskShift.String(): "m_shft",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("stringer: got %q, want %q", got, want)
+		}
+	}
+	// Out-of-range values must not panic.
+	_ = Counter(99).String()
+	_ = Src(99).String()
+	_ = ArithKind(99).String()
+}
+
+func TestProgramLen(t *testing.T) {
+	p := &Program{Name: "x", Tuples: make([]Tuple, 7)}
+	if p.Len() != 7 {
+		t.Fatal("Len wrong")
+	}
+}
+
+func TestRowRefString(t *testing.T) {
+	if Row(5).String() != "r5" {
+		t.Fatal("fixed row string")
+	}
+	s := RowBy(5, Seg1, 2).String()
+	if s == "" || s == "r5" {
+		t.Fatalf("indexed row string = %q", s)
+	}
+}

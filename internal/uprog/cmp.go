@@ -1,0 +1,220 @@
+package uprog
+
+import (
+	"fmt"
+
+	"repro/internal/uop"
+)
+
+// Comparison micro-programs. A comparison writes a boolean *value* register:
+// element LSB holds the result bit and all other bits are zero, the layout
+// mask registers use (internal/isa stores RVV mask registers this way).
+//
+// The unsigned core exploits the adder: the carry latch after computing
+// a + ~b + 1 holds (a >= b) per element, and a subsequent bit-line compute of
+// the zero row against itself turns the latch into a writable value, since
+// with p = g = 0 the sum output is exactly the carry-in sitting at each
+// group's LSB column.
+
+// CmpKind enumerates the comparison macro-operations.
+type CmpKind int
+
+// Comparison kinds (RVV vmseq..vmsgt family, as value-producing compares).
+const (
+	CmpEq CmpKind = iota
+	CmpNe
+	CmpLtu
+	CmpLt
+	CmpGeu
+	CmpGe
+	CmpGtu
+	CmpGt
+	CmpLeu
+	CmpLe
+)
+
+func (k CmpKind) String() string {
+	names := [...]string{"eq", "ne", "ltu", "lt", "geu", "ge", "gtu", "gt", "leu", "le"}
+	if k >= 0 && int(k) < len(names) {
+		return names[k]
+	}
+	return fmt.Sprintf("cmp(%d)", int(k))
+}
+
+// geuCore emits tuples leaving (a >= b), unsigned, in the carry latch. It
+// clobbers scratch 0 and 1.
+func (as *asm) geuCore(a, b int) {
+	nb, junk := as.l.ScratchID(0), as.l.ScratchID(1)
+	// nb = ~b.
+	as.loop(uop.Seg0, as.l.Segs, func() {
+		as.ar(blc(as.reg(b, uop.Seg0), as.reg(b, uop.Seg0)))
+		as.ar(wbRow(as.reg(nb, uop.Seg0), uop.SrcNand, false))
+	})
+	// a + ~b + 1, discarding sums, keeping the final carry.
+	as.setCarry()
+	as.loop(uop.Seg1, as.l.Segs, func() {
+		as.ar(blc(as.reg(a, uop.Seg1), as.reg(nb, uop.Seg1)))
+		as.ar(wbRow(as.reg(junk, uop.Seg1), uop.SrcAdd, false))
+	})
+}
+
+// carryToValue emits tuples materializing the carry latch as a 0/1 value in
+// register d, optionally complemented.
+func (as *asm) carryToValue(d int, invert bool) {
+	as.ar(blc(as.zero(), as.zero()))
+	as.ar(wbRow(as.regSeg(d, 0), uop.SrcAdd, false))
+	if invert {
+		as.ar(blc(as.regSeg(d, 0), as.one()))
+		as.ar(wbRow(as.regSeg(d, 0), uop.SrcXor, false))
+	}
+	if as.l.Segs > 1 {
+		as.loop(uop.Seg2, as.l.Segs-1, func() {
+			as.ar(wrConst(uop.RowBy(as.l.RegRow(d, 1), uop.Seg2, 1), uop.SrcZero, false))
+		})
+	}
+}
+
+// biasSign emits tuples copying register a into scratch dst with the sign
+// bit flipped (adding the 2³¹ bias), reducing signed order to unsigned.
+func (as *asm) biasSign(dst, a int, cnt uop.Counter) {
+	if as.l.Segs > 1 {
+		as.loop(cnt, as.l.Segs-1, func() {
+			as.copySeg(as.reg(dst, cnt), as.reg(a, cnt), false)
+		})
+	}
+	top := as.l.Segs - 1
+	as.ar(blc(as.regSeg(a, top), as.sign()))
+	as.ar(wbRow(as.regSeg(dst, top), uop.SrcXor, false))
+}
+
+// eqCore emits tuples leaving (a == b) in the carry latch: the per-column
+// XORs of all segments are OR-accumulated into one row, whose all-zeroness
+// is then tested with the adder (~x + 1 carries out iff x == 0).
+func (as *asm) eqCore(a, b int) {
+	acc, tmp := as.l.ScratchID(0), as.l.ScratchID(1)
+	as.ar(blc(as.regSeg(a, 0), as.regSeg(b, 0)))
+	as.ar(wbRow(as.regSeg(acc, 0), uop.SrcXor, false))
+	if as.l.Segs > 1 {
+		as.loop(uop.Seg0, as.l.Segs-1, func() {
+			as.ar(blc(uop.RowBy(as.l.RegRow(a, 1), uop.Seg0, 1), uop.RowBy(as.l.RegRow(b, 1), uop.Seg0, 1)))
+			as.ar(wbRow(as.regSeg(tmp, 0), uop.SrcXor, false))
+			as.ar(blc(as.regSeg(acc, 0), as.regSeg(tmp, 0)))
+			as.ar(wbRow(as.regSeg(acc, 0), uop.SrcOr, false))
+		})
+	}
+	// carry = (acc == 0): complement and add 1 within the single row.
+	as.ar(blc(as.regSeg(acc, 0), as.regSeg(acc, 0)))
+	as.ar(wbRow(as.regSeg(tmp, 0), uop.SrcNand, false))
+	as.setCarry()
+	as.ar(blc(as.regSeg(tmp, 0), as.zero()))
+	as.ar(wbRow(as.regSeg(tmp, 0), uop.SrcAdd, false))
+}
+
+// Compare generates d ← (a <kind> b) ? 1 : 0. Signed kinds bias both
+// operands through scratch before running the unsigned core; masked forms
+// compute into scratch and conditionally copy.
+func Compare(l Layout, kind CmpKind, d, a, b int, masked bool) *uop.Program {
+	as := newAsm(l, "vcmp."+kind.String())
+	dst := d
+	if masked {
+		dst = l.ScratchID(5)
+	}
+	switch kind {
+	case CmpEq:
+		as.eqCore(a, b)
+		as.carryToValue(dst, false)
+	case CmpNe:
+		as.eqCore(a, b)
+		as.carryToValue(dst, true)
+	case CmpGeu:
+		as.geuCore(a, b)
+		as.carryToValue(dst, false)
+	case CmpLtu:
+		as.geuCore(a, b)
+		as.carryToValue(dst, true)
+	case CmpLeu:
+		as.geuCore(b, a) // a <= b  ⇔  b >= a
+		as.carryToValue(dst, false)
+	case CmpGtu:
+		as.geuCore(b, a)
+		as.carryToValue(dst, true)
+	case CmpGe, CmpLt, CmpLe, CmpGt:
+		ba, bb := l.ScratchID(2), l.ScratchID(3)
+		as.biasSign(ba, a, uop.Seg3)
+		as.biasSign(bb, b, uop.Bit0)
+		switch kind {
+		case CmpGe:
+			as.geuCore(ba, bb)
+			as.carryToValue(dst, false)
+		case CmpLt:
+			as.geuCore(ba, bb)
+			as.carryToValue(dst, true)
+		case CmpLe:
+			as.geuCore(bb, ba)
+			as.carryToValue(dst, false)
+		case CmpGt:
+			as.geuCore(bb, ba)
+			as.carryToValue(dst, true)
+		}
+	default:
+		panic(fmt.Sprintf("uprog: unknown comparison kind %d", kind))
+	}
+	if masked {
+		as.loadMaskFromRow(as.regSeg(maskReg, 0), uop.SpreadLSB, false)
+		as.loop(uop.Bit1, l.Segs, func() {
+			as.copySeg(as.reg(d, uop.Bit1), as.reg(dst, uop.Bit1), true)
+		})
+	}
+	as.ret()
+	return as.prog()
+}
+
+// MinMax generates d ← min/max(a, b) in the signed or unsigned order: the
+// comparison result drives the mask latches selecting between the operands.
+func MinMax(l Layout, max, signed bool, d, a, b int, masked bool) *uop.Program {
+	name := "vmin"
+	if max {
+		name = "vmax"
+	}
+	if !signed {
+		name += "u"
+	}
+	as := newAsm(l, name)
+	sel := l.ScratchID(4)
+	// sel = (a < b), in the requested order.
+	if signed {
+		ba, bb := l.ScratchID(2), l.ScratchID(3)
+		as.biasSign(ba, a, uop.Seg3)
+		as.biasSign(bb, b, uop.Bit0)
+		as.geuCore(bb, ba)         // b >= a ⇔ !(a > b); we want a < b: geu(b,a) gives b>=a i.e. a<=b.
+		as.carryToValue(sel, true) // sel = !(b >= a) = (a > b)
+	} else {
+		as.geuCore(b, a)
+		as.carryToValue(sel, true) // sel = (a > b)
+	}
+	// For min: result = sel ? b : a. For max: result = sel ? a : b.
+	first, second := b, a
+	if max {
+		first, second = a, b
+	}
+	dst := d
+	if masked {
+		dst = l.ScratchID(5)
+	}
+	as.loadMaskFromRow(as.regSeg(sel, 0), uop.SpreadLSB, false)
+	as.loop(uop.Bit1, l.Segs, func() {
+		as.copySeg(as.reg(dst, uop.Bit1), as.reg(first, uop.Bit1), true)
+	})
+	as.loadMaskFromRow(as.regSeg(sel, 0), uop.SpreadLSB, true)
+	as.loop(uop.Bit2, l.Segs, func() {
+		as.copySeg(as.reg(dst, uop.Bit2), as.reg(second, uop.Bit2), true)
+	})
+	if masked {
+		as.loadMaskFromRow(as.regSeg(maskReg, 0), uop.SpreadLSB, false)
+		as.loop(uop.Seg2, l.Segs, func() {
+			as.copySeg(as.reg(d, uop.Seg2), as.reg(dst, uop.Seg2), true)
+		})
+	}
+	as.ret()
+	return as.prog()
+}

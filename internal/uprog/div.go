@@ -1,0 +1,186 @@
+package uprog
+
+import (
+	"fmt"
+
+	"repro/internal/uop"
+)
+
+// Division micro-programs: textbook restoring division, fully predicated —
+// every element runs the same 32 unrolled steps, with the "restore" decision
+// expressed through the mask latches, so the cycle count is data-independent
+// like every other micro-program.
+//
+// Per step: the remainder is shifted left one bit and the next dividend bit
+// ORed in; the trial subtraction R − divisor is staged with the adder, whose
+// final carry (R ≥ divisor) becomes the mask selecting whether the staged
+// difference replaces R and whether the quotient bit is set.
+//
+// RVV semantics fall out naturally: dividing by zero yields an all-ones
+// quotient and the dividend as remainder.
+//
+// Scratch usage: 0 = remainder, 1 = quotient, 2 = ~divisor, 3 = staging,
+// 4 = constant staging row, 5 = |dividend| (signed forms).
+//
+// The VSU must drive data_in rows 0..N-1 with BitConstRows (a single set bit
+// at offset j of every group) for the quotient-bit writes.
+
+// DivKind enumerates the division macro-operations.
+type DivKind int
+
+// Division kinds.
+const (
+	DivU DivKind = iota
+	DivS
+	RemU
+	RemS
+)
+
+func (k DivKind) String() string {
+	switch k {
+	case DivU:
+		return "vdivu"
+	case DivS:
+		return "vdiv"
+	case RemU:
+		return "vremu"
+	case RemS:
+		return "vrem"
+	}
+	return fmt.Sprintf("div(%d)", int(k))
+}
+
+// divCore emits the 32-step restoring loop dividing register num by the
+// divisor whose complement is already in scratch 2, leaving the quotient in
+// scratch 1 and the remainder in scratch 0.
+func (as *asm) divCore(num int) {
+	l := as.l
+	r, q, nb, t, c := l.ScratchID(0), l.ScratchID(1), l.ScratchID(2), l.ScratchID(3), l.ScratchID(4)
+	// R ← 0, Q ← 0.
+	as.loop(uop.Seg0, l.Segs, func() {
+		as.ar(wrConst(as.reg(r, uop.Seg0), uop.SrcZero, false))
+	})
+	as.loop(uop.Seg0, l.Segs, func() {
+		as.ar(wrConst(as.reg(q, uop.Seg0), uop.SrcZero, false))
+	})
+	for i := 31; i >= 0; i-- {
+		seg, off := i/l.N, i%l.N
+		// R = (R << 1) | bit_i(num).
+		as.leftPass(r, false, uop.Seg1)
+		as.loadBitMask(num, i)
+		as.ar(blc(as.regSeg(r, 0), as.one()))
+		as.ar(wbRow(as.regSeg(r, 0), uop.SrcOr, true))
+		// Staged trial subtraction: t = R + ~divisor + 1; carry = (R ≥ divisor).
+		as.setCarry()
+		as.loop(uop.Seg2, l.Segs, func() {
+			as.ar(blc(as.reg(r, uop.Seg2), as.reg(nb, uop.Seg2)))
+			as.ar(wbRow(as.reg(t, uop.Seg2), uop.SrcAdd, false))
+		})
+		// Mask ← carry: with both operands zero the sum output is exactly
+		// the carry-in at each group's LSB column.
+		as.ar(blc(as.zero(), as.zero()))
+		as.ar(wbLatch(uop.DstMask, uop.SrcAdd, uop.SpreadLSB))
+		// Commit the subtraction where it did not borrow.
+		as.loop(uop.Seg3, l.Segs, func() {
+			as.copySeg(as.reg(r, uop.Seg3), as.reg(t, uop.Seg3), true)
+		})
+		// Set quotient bit i where committed.
+		as.ar(wrExt(as.regSeg(c, 0), uop.Ext(off), false))
+		as.ar(blc(as.regSeg(q, seg), as.regSeg(c, 0)))
+		as.ar(wbRow(as.regSeg(q, seg), uop.SrcOr, true))
+	}
+}
+
+// DivRem generates d ← a <kind> b.
+func DivRem(l Layout, kind DivKind, d, a, b int, masked bool) *uop.Program {
+	as := newAsm(l, kind.String())
+	r, q, nb, t, abs := l.ScratchID(0), l.ScratchID(1), l.ScratchID(2), l.ScratchID(3), l.ScratchID(5)
+	signed := kind == DivS || kind == RemS
+
+	num := a
+	if signed {
+		// abs ← |a|: copy, then negate where the sign bit is set.
+		as.loop(uop.Seg0, l.Segs, func() {
+			as.copySeg(as.reg(abs, uop.Seg0), as.reg(a, uop.Seg0), false)
+		})
+		as.loadMaskFromRow(as.regSeg(a, l.Segs-1), uop.SpreadMSB, false)
+		as.neg(abs, t, true)
+		num = abs
+		// nb ← ~|b|: copy, conditional negate, complement in place.
+		as.loop(uop.Seg0, l.Segs, func() {
+			as.copySeg(as.reg(nb, uop.Seg0), as.reg(b, uop.Seg0), false)
+		})
+		as.loadMaskFromRow(as.regSeg(b, l.Segs-1), uop.SpreadMSB, false)
+		as.neg(nb, t, true)
+		as.loop(uop.Seg0, l.Segs, func() {
+			as.ar(blc(as.reg(nb, uop.Seg0), as.reg(nb, uop.Seg0)))
+			as.ar(wbRow(as.reg(nb, uop.Seg0), uop.SrcNand, false))
+		})
+	} else {
+		as.loop(uop.Seg0, l.Segs, func() {
+			as.ar(blc(as.reg(b, uop.Seg0), as.reg(b, uop.Seg0)))
+			as.ar(wbRow(as.reg(nb, uop.Seg0), uop.SrcNand, false))
+		})
+	}
+
+	as.divCore(num)
+
+	if signed {
+		// Quotient sign = sign(a) ⊕ sign(b), but only when b ≠ 0 — division
+		// by zero must keep the all-ones quotient (RVV). Remainder sign =
+		// sign(a) unconditionally: for b = 0 the core leaves |a|, and
+		// negating by a's sign restores a, the required result. Everything
+		// is recomputed from the untouched source registers.
+		c := l.ScratchID(4)
+		// c_0 ← (b ≠ 0) at each element's LSB: OR b's segments per column,
+		// test all-zero with the adder, invert.
+		as.ar(blc(as.regSeg(b, 0), as.regSeg(b, 0)))
+		as.ar(wbRow(as.regSeg(t, 0), uop.SrcAnd, false))
+		if l.Segs > 1 {
+			as.loop(uop.Seg0, l.Segs-1, func() {
+				as.ar(blc(as.regSeg(t, 0), uop.RowBy(l.RegRow(b, 1), uop.Seg0, 1)))
+				as.ar(wbRow(as.regSeg(t, 0), uop.SrcOr, false))
+			})
+		}
+		as.ar(blc(as.regSeg(t, 0), as.regSeg(t, 0)))
+		as.ar(wbRow(as.regSeg(c, 0), uop.SrcNand, false))
+		as.setCarry()
+		as.ar(blc(as.regSeg(c, 0), as.zero()))
+		as.ar(wbRow(as.regSeg(c, 0), uop.SrcAdd, false))
+		as.ar(blc(as.zero(), as.zero()))
+		as.ar(wbRow(as.regSeg(c, 0), uop.SrcAdd, false)) // c_0 = (b == 0)
+		as.ar(blc(as.regSeg(c, 0), as.one()))
+		as.ar(wbRow(as.regSeg(c, 0), uop.SrcXor, false)) // c_0 = (b != 0)
+		// t_0 ← sign(a) ⊕ sign(b) moved from the MSB to the LSB column.
+		as.ar(blc(as.regSeg(a, l.Segs-1), as.regSeg(b, l.Segs-1)))
+		as.ar(wbRow(as.regSeg(t, 0), uop.SrcXor, false))
+		as.ar(rd(as.regSeg(t, 0), uop.DstXReg))
+		for j := 0; j < l.N-1; j++ {
+			as.ar(maskShift())
+		}
+		as.ar(wbRow(as.regSeg(t, 0), uop.SrcXReg, false))
+		as.ar(blc(as.regSeg(t, 0), as.regSeg(c, 0)))
+		as.ar(wbRow(as.regSeg(t, 0), uop.SrcAnd, false))
+		as.loadMaskFromRow(as.regSeg(t, 0), uop.SpreadLSB, false)
+		as.neg(q, nb, true)
+		as.loadMaskFromRow(as.regSeg(a, l.Segs-1), uop.SpreadMSB, false)
+		as.neg(r, nb, true)
+	}
+
+	res := q
+	if kind == RemU || kind == RemS {
+		res = r
+	}
+	if masked {
+		as.loadMaskFromRow(as.regSeg(maskReg, 0), uop.SpreadLSB, false)
+	}
+	as.loop(uop.Bit1, l.Segs, func() {
+		as.copySeg(as.reg(d, uop.Bit1), as.reg(res, uop.Bit1), masked)
+	})
+	as.ret()
+	return as.prog()
+}
+
+// BitConstRowCount reports how many data_in rows DivRem expects: one per
+// bit offset within a segment.
+func BitConstRowCount(l Layout) int { return l.N }

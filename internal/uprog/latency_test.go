@@ -1,0 +1,59 @@
+package uprog
+
+import (
+	"testing"
+
+	"repro/internal/uop"
+)
+
+// TestGoldenLatencies pins the exact cycle count of every macro-operation's
+// micro-program at every parallelization factor. These numbers ARE the EVE
+// timing model (internal/eve derives instruction costs from them), so any
+// unintended ROM change shows up here first. Interesting structure visible
+// in the table: element-wise ops scale with the segment count (copy: 66 →
+// 4); immediate shifts are non-monotonic because segment-granular moves get
+// cheaper as in-segment bit passes get more expensive (sll7: EVE-8 does 7
+// one-bit passes, EVE-16 one segment move implements 8 of the 7... and the
+// balance flips); mulhu and divu grow again at EVE-32 where per-bit
+// extraction loses its shared-segment amortization.
+func TestGoldenLatencies(t *testing.T) {
+	factors := []int{1, 2, 4, 8, 16, 32}
+	golden := map[string][6]int{
+		"copy":  {66, 34, 18, 10, 6, 4},
+		"add":   {67, 35, 19, 11, 7, 5},
+		"sub":   {132, 68, 36, 20, 12, 8},
+		"xor":   {66, 34, 18, 10, 6, 4},
+		"slt":   {298, 154, 82, 46, 28, 16},
+		"max":   {432, 224, 120, 68, 42, 26},
+		"sll7":  {58, 80, 94, 107, 61, 38},
+		"srlvv": {430, 242, 170, 150, 154, 182},
+		"mul":   {5605, 2917, 1573, 901, 565, 397},
+		"mulhu": {10788, 5652, 3156, 2052, 1788, 2232},
+		"divu":  {7813, 4149, 2341, 1485, 1153, 1179},
+		"merge": {135, 71, 39, 23, 15, 11},
+	}
+	gens := map[string]func(l Layout) *uop.Program{
+		"copy":  func(l Layout) *uop.Program { return Copy(l, 3, 1, false) },
+		"add":   func(l Layout) *uop.Program { return Add(l, 3, 1, 2, false) },
+		"sub":   func(l Layout) *uop.Program { return Sub(l, 3, 1, 2, false) },
+		"xor":   func(l Layout) *uop.Program { return Logic(l, uop.SrcXor, 3, 1, 2, false) },
+		"slt":   func(l Layout) *uop.Program { return Compare(l, CmpLt, 3, 1, 2, false) },
+		"max":   func(l Layout) *uop.Program { return MinMax(l, true, true, 3, 1, 2, false) },
+		"sll7":  func(l Layout) *uop.Program { return ShiftImm(l, ShSLL, 3, 1, 7, false) },
+		"srlvv": func(l Layout) *uop.Program { return ShiftVV(l, ShSRL, 3, 1, 2, false) },
+		"mul":   func(l Layout) *uop.Program { return Mul(l, 3, 1, 2, false, false) },
+		"mulhu": func(l Layout) *uop.Program { return MulH(l, 3, 1, 2, false) },
+		"divu":  func(l Layout) *uop.Program { return DivRem(l, DivU, 3, 1, 2, false) },
+		"merge": func(l Layout) *uop.Program { return Merge(l, 3, 1, 2) },
+	}
+	for name, want := range golden {
+		for i, n := range factors {
+			m := NewMachine(n, 2)
+			got := m.CountCycles(gens[name](m.Layout))
+			if got != want[i] {
+				t.Errorf("%s at EVE-%d: %d cycles, golden %d — the ROM changed; "+
+					"if intentional, update the table and EXPERIMENTS.md", name, n, got, want[i])
+			}
+		}
+	}
+}

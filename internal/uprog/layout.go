@@ -1,0 +1,79 @@
+// Package uprog implements EVE's micro-programming layer (paper §IV): a
+// library ("ROM") of micro-programs implementing vector macro-operations for
+// every parallelization factor, an assembler for building them, and the
+// sequencer (the execution half of the VSU) that runs them against the
+// circuit stacks cycle by cycle.
+//
+// Micro-programs here are data-independent: loop trip counts depend only on
+// the configuration (segment count, segment width), never on element values —
+// data-dependent behaviour is expressed through predication (the mask
+// latches). Consequently a macro-operation's cycle count is a static property
+// of (operation, parallelization factor), which is what the EVE timing model
+// (internal/eve) consumes.
+package uprog
+
+import "fmt"
+
+// Layout describes how the vector register file maps onto a logical EVE SRAM
+// array for a given parallelization factor.
+//
+// Element e of every register lives in column group e (columns [e·N,(e+1)·N));
+// register r's segment s occupies wordline r·Segs+s. Scratch registers used
+// by micro-programs sit above the architectural registers, followed by two
+// constant rows: an always-zero row and a "one per group" row (bit set at
+// each group's LSB column) used for mask materialization.
+//
+// The physical 256-row array cannot hold 32 registers × 32 segments in one
+// column group when N < 4; hardware splits an element across several
+// single-ALU column groups instead (§II, modeled for timing/capacity in
+// internal/vreg). The functional model uses a logically tall array — the
+// μprograms and their cycle counts are identical either way.
+type Layout struct {
+	N       int // parallelization factor (segment width in bits)
+	Segs    int // segments per element = 32/N
+	Regs    int // architectural vector registers (32 for RVV)
+	Scratch int // scratch registers available to micro-programs
+}
+
+// NewLayout returns the standard layout for parallelization factor n: 32
+// architectural registers plus 6 scratch registers (division is the hungriest
+// micro-program, needing five working values plus a constant staging row).
+func NewLayout(n int) Layout {
+	if n <= 0 || 32%n != 0 {
+		panic(fmt.Sprintf("uprog: invalid parallelization factor %d", n))
+	}
+	return Layout{N: n, Segs: 32 / n, Regs: 32, Scratch: 6}
+}
+
+// RegRow returns the wordline of register r's segment s (segment 0 holds the
+// least significant bits). r may be an architectural register (0..Regs-1) or
+// a scratch id from ScratchID — the generators treat them uniformly.
+func (l Layout) RegRow(r, s int) int {
+	if r < 0 || r >= l.Regs+l.Scratch || s < 0 || s >= l.Segs {
+		panic(fmt.Sprintf("uprog: reg %d seg %d out of range", r, s))
+	}
+	return r*l.Segs + s
+}
+
+// ScratchRow returns the wordline of scratch register k's segment s.
+func (l Layout) ScratchRow(k, s int) int {
+	if k < 0 || k >= l.Scratch || s < 0 || s >= l.Segs {
+		panic(fmt.Sprintf("uprog: scratch %d seg %d out of range", k, s))
+	}
+	return (l.Regs+k)*l.Segs + s
+}
+
+// ZeroRow returns the wordline of the dedicated all-zero constant row.
+func (l Layout) ZeroRow() int { return (l.Regs + l.Scratch) * l.Segs }
+
+// OneRow returns the wordline of the constant row holding value 1 in every
+// element (a single set bit at each group's LSB column).
+func (l Layout) OneRow() int { return l.ZeroRow() + 1 }
+
+// SignRow returns the wordline of the constant row with only each group's
+// MSB column set; XORing an element's top segment with it flips the sign
+// bit, turning signed comparisons into unsigned ones.
+func (l Layout) SignRow() int { return l.ZeroRow() + 2 }
+
+// Rows reports the total wordlines the layout occupies.
+func (l Layout) Rows() int { return l.SignRow() + 1 }

@@ -1,0 +1,167 @@
+package uprog
+
+import (
+	"fmt"
+
+	"repro/internal/bitmat"
+	"repro/internal/circuits"
+	"repro/internal/sram"
+	"repro/internal/uop"
+)
+
+// maxCycles bounds a single micro-program run; exceeding it indicates a
+// sequencing bug (runaway loop), which is a panic, not an error.
+const maxCycles = 1 << 22
+
+// Machine is the execution half of a VSU bound to one circuit stack: the
+// micro-program counter, the 12 shared counters with their zero and
+// binary-decade flags, and the tuple execution loop.
+//
+// Within a tuple the paper executes counter, arithmetic, then control μop.
+// Row references are resolved against the counter iteration state at the
+// start of the cycle (a register read in the same cycle it is written), so
+// a decr riding in the same tuple as a blc does not perturb the blc's
+// addressing — matching Fig 4's listings.
+type Machine struct {
+	Layout Layout
+	Stack  *circuits.Stack
+
+	vals   [uop.NumCounters]int
+	inits  [uop.NumCounters]int
+	iters  [uop.NumCounters]int
+	zeroF  [uop.NumCounters]bool
+	decF   [uop.NumCounters]bool
+	cycles uint64
+	energy [uop.NumEnergyClasses]uint64
+}
+
+// EnergyCounts reports cumulative arithmetic μops per energy class across
+// all runs, the input to the §VI-B array-energy model.
+func (m *Machine) EnergyCounts() [uop.NumEnergyClasses]uint64 { return m.energy }
+
+// NewMachine builds a machine for parallelization factor n with capacity for
+// elems elements (elems column groups). The constant rows are initialized.
+func NewMachine(n, elems int) *Machine {
+	l := NewLayout(n)
+	arr := sram.New(l.Rows(), elems*n)
+	st := circuits.NewStack(arr, n)
+	m := &Machine{Layout: l, Stack: st}
+	arr.Write(l.OneRow(), bitmat.LSBMask(arr.Cols(), n))
+	arr.Write(l.SignRow(), bitmat.MSBMask(arr.Cols(), n))
+	return m
+}
+
+// Elems reports how many elements (column groups) the machine holds.
+func (m *Machine) Elems() int { return m.Stack.Array().Cols() / m.Layout.N }
+
+// Cycles reports the cumulative tuples executed across all Run calls.
+func (m *Machine) Cycles() uint64 { return m.cycles }
+
+// StoreElement writes a 32-bit value into register reg, element elem.
+func (m *Machine) StoreElement(reg, elem int, v uint32) {
+	m.Stack.Array().StoreUint32(v, m.Layout.RegRow(reg, 0), elem*m.Layout.N, m.Layout.N)
+}
+
+// LoadElement reads the 32-bit value of register reg, element elem.
+func (m *Machine) LoadElement(reg, elem int) uint32 {
+	return m.Stack.Array().LoadUint32(m.Layout.RegRow(reg, 0), elem*m.Layout.N, m.Layout.N)
+}
+
+// Run executes the micro-program to completion, returning the cycle count
+// (tuples executed). env supplies data_in rows and collects data_out rows;
+// it may be nil for programs that use neither.
+func (m *Machine) Run(p *uop.Program, env *circuits.Env) int {
+	return m.exec(p, env, true)
+}
+
+// CountCycles executes only the counter and control μops of the program,
+// skipping the datapath, and returns the cycle count. Because micro-programs
+// are data-independent this equals Run's cycle count; the EVE timing model
+// uses it to cost macro-operations without touching an array.
+func (m *Machine) CountCycles(p *uop.Program) int {
+	return m.exec(p, nil, false)
+}
+
+func (m *Machine) exec(p *uop.Program, env *circuits.Env, datapath bool) int {
+	cycles := 0
+	pc := 0
+	for pc < len(p.Tuples) {
+		if cycles >= maxCycles {
+			panic(fmt.Sprintf("uprog: %s exceeded %d cycles (runaway loop at pc %d)", p.Name, maxCycles, pc))
+		}
+		t := &p.Tuples[pc]
+		cycles++
+
+		// Arithmetic μop, addressed with start-of-cycle counter state.
+		m.energy[uop.EnergyClassOf(t.Arith)]++
+		if datapath && t.Arith.Kind != uop.ANone {
+			rowA := t.Arith.A.Resolve(&m.iters)
+			rowB := t.Arith.B.Resolve(&m.iters)
+			rowD := t.Arith.DstR.Resolve(&m.iters)
+			ext := t.Arith.ExtR.Resolve(&m.iters)
+			m.Stack.Exec(t.Arith, rowA, rowB, rowD, ext, env)
+		}
+
+		// Counter μop.
+		switch t.Ctr.Kind {
+		case uop.CNone:
+		case uop.CInit:
+			c := t.Ctr.Cnt
+			m.vals[c], m.inits[c], m.iters[c] = t.Ctr.Val, t.Ctr.Val, 0
+			m.zeroF[c], m.decF[c] = false, false
+		case uop.CDecr:
+			m.decr(t.Ctr.Cnt)
+		case uop.CIncr:
+			c := t.Ctr.Cnt
+			m.vals[c]++
+			m.iters[c]--
+		default:
+			panic(fmt.Sprintf("uprog: bad counter μop kind %d", t.Ctr.Kind))
+		}
+
+		// Control μop.
+		next := pc + 1
+		switch t.Ctl.Kind {
+		case uop.LNone:
+		case uop.LJmp:
+			next = t.Ctl.Target
+		case uop.LRet:
+			m.cycles += uint64(cycles)
+			return cycles
+		case uop.LBnz:
+			c := t.Ctl.Cnt
+			if !m.zeroF[c] {
+				next = t.Ctl.Target
+			} else {
+				m.zeroF[c] = false // flag consumed at the loop exit
+			}
+		case uop.LBnd:
+			c := t.Ctl.Cnt
+			if m.decF[c] {
+				m.decF[c] = false // flag consumed when the branch is taken
+				next = t.Ctl.Target
+			}
+		default:
+			panic(fmt.Sprintf("uprog: bad control μop kind %d", t.Ctl.Kind))
+		}
+		pc = next
+	}
+	m.cycles += uint64(cycles)
+	return cycles
+}
+
+// decr implements the paper's counter semantics: decrementing to zero sets
+// the zero flag and resets the counter to its initial value; reaching a
+// power of two sets the binary-decade flag.
+func (m *Machine) decr(c uop.Counter) {
+	m.vals[c]--
+	m.iters[c]++
+	if m.vals[c] <= 0 {
+		m.zeroF[c] = true
+		m.vals[c] = m.inits[c]
+		m.iters[c] = 0
+	}
+	if v := m.vals[c]; v > 0 && v&(v-1) == 0 {
+		m.decF[c] = true
+	}
+}

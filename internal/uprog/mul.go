@@ -1,0 +1,122 @@
+package uprog
+
+import "repro/internal/uop"
+
+// Multiplication (Fig 4(b)). The multiplier is consumed one segment at a
+// time through the XRegister; the outer loop walks the N=Segs multiplier
+// segments and the inner loop the n bits within a segment — each inner
+// iteration performs one predicated accumulation of the shifted multiplicand
+// ("predicated summation") and advances the multiplicand by one bit, so the
+// working copy always holds a << (seg·n + bit).
+//
+// Scratch usage: 0 = working multiplicand, 1 = accumulator.
+
+// Mul generates d ← low32(a × b). With acc set it generates the
+// multiply-accumulate d ← d + a × b (vmacc.vv).
+func Mul(l Layout, d, a, b int, masked, acc bool) *uop.Program {
+	name := "vmul"
+	if acc {
+		name = "vmacc"
+	}
+	as := newAsm(l, name)
+	w, sum := l.ScratchID(0), l.ScratchID(1)
+
+	// w ← a; sum ← 0 (or d for multiply-accumulate).
+	as.loop(uop.Seg0, l.Segs, func() {
+		as.copySeg(as.reg(w, uop.Seg0), as.reg(a, uop.Seg0), false)
+	})
+	if acc {
+		as.loop(uop.Seg0, l.Segs, func() {
+			as.copySeg(as.reg(sum, uop.Seg0), as.reg(d, uop.Seg0), false)
+		})
+	} else {
+		as.loop(uop.Seg0, l.Segs, func() {
+			as.ar(wrConst(as.reg(sum, uop.Seg0), uop.SrcZero, false))
+		})
+	}
+
+	// Outer loop over multiplier segments; Seg1's iteration count indexes
+	// the segment row of b loaded into the XRegister.
+	as.loop(uop.Seg1, l.Segs, func() {
+		as.ar(rd(as.reg(b, uop.Seg1), uop.DstXReg))
+		// Inner loop over the n bits of the segment.
+		as.loop(uop.Bit0, l.N, func() {
+			// Predicate on the multiplier's current LSB and consume it.
+			as.ar(wbLatch(uop.DstMask, uop.SrcXReg, uop.SpreadLSB))
+			as.ar(maskShift())
+			// sum += w where predicated.
+			as.clearCarry()
+			as.loop(uop.Seg2, l.Segs, func() {
+				as.ar(blc(as.reg(w, uop.Seg2), as.reg(sum, uop.Seg2)))
+				as.ar(wbRow(as.reg(sum, uop.Seg2), uop.SrcAdd, true))
+			})
+			// w <<= 1 for every element.
+			as.leftPass(w, false, uop.Seg3)
+		})
+	})
+
+	// Commit the accumulator to the destination.
+	if masked {
+		as.loadMaskFromRow(as.regSeg(maskReg, 0), uop.SpreadLSB, false)
+	}
+	as.loop(uop.Bit1, l.Segs, func() {
+		as.copySeg(as.reg(d, uop.Bit1), as.reg(sum, uop.Bit1), masked)
+	})
+	as.ret()
+	return as.prog()
+}
+
+// MulH generates d ← high32(a × b) treating the operands as unsigned
+// (vmulhu). It runs the schoolbook loop over a 64-bit accumulator held in
+// two scratch registers, shifting the accumulator right one bit per step so
+// the high half lands in the upper scratch register.
+//
+// Scratch usage: 0 = low accumulator, 1 = high accumulator.
+func MulH(l Layout, d, a, b int, masked bool) *uop.Program {
+	as := newAsm(l, "vmulhu")
+	lo, hi := l.ScratchID(0), l.ScratchID(1)
+	// lo ← 0, hi ← 0.
+	as.loop(uop.Seg0, l.Segs, func() {
+		as.ar(wrConst(as.reg(lo, uop.Seg0), uop.SrcZero, false))
+	})
+	as.loop(uop.Seg0, l.Segs, func() {
+		as.ar(wrConst(as.reg(hi, uop.Seg0), uop.SrcZero, false))
+	})
+	// For each multiplier bit (MSB first): acc = (acc >> ... ) classic
+	// "shift accumulator left" form over 64 bits: acc = 2·acc + (bit ? a : 0).
+	for i := 31; i >= 0; i-- {
+		// acc <<= 1: hi pass then carry bit from lo's MSB.
+		// Shift hi left one bit, then lo; the bit leaving lo's top must
+		// enter hi's bottom: read it first through the XRegister.
+		as.ar(rd(as.regSeg(lo, l.Segs-1), uop.DstXReg))
+		for j := 0; j < l.N-1; j++ {
+			as.ar(maskShift())
+		}
+		// hi = (hi << 1) | topbit(lo).
+		as.leftPass(hi, false, uop.Seg3)
+		as.ar(wbLatch(uop.DstMask, uop.SrcXReg, uop.SpreadLSB))
+		as.ar(blc(as.regSeg(hi, 0), as.one()))
+		as.ar(wbRow(as.regSeg(hi, 0), uop.SrcOr, true))
+		as.leftPass(lo, false, uop.Seg3)
+		// Predicate on multiplier bit i and accumulate a into (hi,lo).
+		as.loadBitMask(b, i)
+		as.clearCarry()
+		as.loop(uop.Seg2, l.Segs, func() {
+			as.ar(blc(as.reg(a, uop.Seg2), as.reg(lo, uop.Seg2)))
+			as.ar(wbRow(as.reg(lo, uop.Seg2), uop.SrcAdd, true))
+		})
+		// Propagate the carry into hi: hi += carry (add zero with carry).
+		as.loop(uop.Seg2, l.Segs, func() {
+			as.ar(blc(as.reg(hi, uop.Seg2), as.zero()))
+			as.ar(wbRow(as.reg(hi, uop.Seg2), uop.SrcAdd, true))
+		})
+	}
+	if masked {
+		as.loadMaskFromRow(as.regSeg(maskReg, 0), uop.SpreadLSB, false)
+	}
+	as.loop(uop.Bit1, l.Segs, func() {
+		as.copySeg(as.reg(d, uop.Bit1), as.reg(hi, uop.Bit1), masked)
+	})
+	as.ret()
+	return as.prog()
+}

@@ -1,0 +1,183 @@
+package uprog
+
+import "repro/internal/uop"
+
+// Register identifiers passed to the ROM generators are row-group ids:
+// architectural register r is id r, and scratch register k is id Regs+k
+// (scratch rows sit directly above the architectural file). The generators
+// never distinguish the two, which lets .vx wrappers substitute a scratch
+// operand transparently.
+
+// ScratchID returns the register id of scratch register k.
+func (l Layout) ScratchID(k int) int { return l.Regs + k }
+
+// maskReg is the architectural register providing the predicate for masked
+// (.vm) operations, RVV's v0.
+const maskReg = 0
+
+// maskPrologue loads the mask latches from v0's element bits when the
+// operation is predicated.
+func (a *asm) maskPrologue(masked bool) {
+	if masked {
+		a.loadMaskFromRow(a.regSeg(maskReg, 0), uop.SpreadLSB, false)
+	}
+}
+
+// Copy generates d ← a (vmv.v.v). With masked set, only elements whose v0
+// bit is set are written.
+func Copy(l Layout, d, a int, masked bool) *uop.Program {
+	as := newAsm(l, "vmv")
+	as.maskPrologue(masked)
+	as.loop(uop.Seg0, l.Segs, func() {
+		as.copySeg(as.reg(d, uop.Seg0), as.reg(a, uop.Seg0), masked)
+	})
+	as.ret()
+	return as.prog()
+}
+
+// Not generates d ← ~a (vnot, i.e. vxor.vi with -1).
+func Not(l Layout, d, a int, masked bool) *uop.Program {
+	as := newAsm(l, "vnot")
+	as.maskPrologue(masked)
+	as.loop(uop.Seg0, l.Segs, func() {
+		as.ar(blc(as.reg(a, uop.Seg0), as.reg(a, uop.Seg0)))
+		as.ar(wbRow(as.reg(d, uop.Seg0), uop.SrcNand, masked))
+	})
+	as.ret()
+	return as.prog()
+}
+
+// Logic generates d ← a op b for the bit-wise operations the sense
+// amplifiers and XOR/XNOR layer produce directly: src selects among SrcAnd,
+// SrcOr, SrcXor, SrcNand, SrcNor, SrcXnor.
+func Logic(l Layout, src uop.Src, d, a, b int, masked bool) *uop.Program {
+	as := newAsm(l, "vlogic."+src.String())
+	as.maskPrologue(masked)
+	as.loop(uop.Seg0, l.Segs, func() {
+		as.ar(blc(as.reg(a, uop.Seg0), as.reg(b, uop.Seg0)))
+		as.ar(wbRow(as.reg(d, uop.Seg0), src, masked))
+	})
+	as.ret()
+	return as.prog()
+}
+
+// Add generates d ← a + b (Fig 4(a)): one bit-line compute and one add
+// writeback per segment, with the inter-segment carry riding in the carry
+// latch.
+func Add(l Layout, d, a, b int, masked bool) *uop.Program {
+	as := newAsm(l, "vadd")
+	as.maskPrologue(masked)
+	as.clearCarry()
+	as.loop(uop.Seg0, l.Segs, func() {
+		as.ar(blc(as.reg(a, uop.Seg0), as.reg(b, uop.Seg0)))
+		as.ar(wbRow(as.reg(d, uop.Seg0), uop.SrcAdd, masked))
+	})
+	as.ret()
+	return as.prog()
+}
+
+// Sub generates d ← a - b as a + ~b + 1: the complement is materialized in
+// scratch with the nand idiom, then added with the carry latch preset.
+func Sub(l Layout, d, a, b int, masked bool) *uop.Program {
+	as := newAsm(l, "vsub")
+	nb := l.ScratchID(0)
+	as.maskPrologue(masked)
+	as.loop(uop.Seg0, l.Segs, func() {
+		as.ar(blc(as.reg(b, uop.Seg0), as.reg(b, uop.Seg0)))
+		as.ar(wbRow(as.reg(nb, uop.Seg0), uop.SrcNand, false))
+	})
+	as.setCarry()
+	as.loop(uop.Seg1, l.Segs, func() {
+		as.ar(blc(as.reg(a, uop.Seg1), as.reg(nb, uop.Seg1)))
+		as.ar(wbRow(as.reg(d, uop.Seg1), uop.SrcAdd, masked))
+	})
+	as.ret()
+	return as.prog()
+}
+
+// RSub generates d ← b - a (vrsub).
+func RSub(l Layout, d, a, b int, masked bool) *uop.Program {
+	p := Sub(l, d, b, a, masked)
+	p.Name = "vrsub"
+	return p
+}
+
+// neg emits tuples computing r ← 0 - r (two's-complement negate) using nb as
+// staging for the complement; nb must differ from r. With masked set, only
+// elements selected by the current mask latches are negated — the idiom for
+// conditional negation in the signed multiply/divide wrappers. The mask
+// latches must not change between the two loops, which they do not: loop
+// control never touches them.
+func (a *asm) neg(r, nb int, masked bool) {
+	a.loop(uop.Bit3, a.l.Segs, func() {
+		a.ar(blc(a.reg(r, uop.Bit3), a.reg(r, uop.Bit3)))
+		a.ar(wbRow(a.reg(nb, uop.Bit3), uop.SrcNand, false))
+	})
+	a.setCarry()
+	a.loop(uop.Bit3, a.l.Segs, func() {
+		a.ar(blc(a.reg(nb, uop.Bit3), a.zero()))
+		a.ar(wbRow(a.reg(r, uop.Bit3), uop.SrcAdd, masked))
+	})
+}
+
+// WriteExt generates d ← data_in rows 0..Segs-1, the writeback path for
+// scalar broadcasts (vmv.v.x) and for memory load data arriving from the
+// DTUs. The VSU drives ext row s with segment s for every element.
+func WriteExt(l Layout, d int, masked bool) *uop.Program {
+	as := newAsm(l, "vwrite.ext")
+	as.maskPrologue(masked)
+	as.loop(uop.Seg0, l.Segs, func() {
+		as.ar(wrExt(as.reg(d, uop.Seg0), uop.ExtBy(0, uop.Seg0), masked))
+	})
+	as.ret()
+	return as.prog()
+}
+
+// StreamOut generates the segment-by-segment read-out of register a through
+// the data_out port, feeding stores, reductions (the VRU) and scalar moves.
+func StreamOut(l Layout, a int) *uop.Program {
+	as := newAsm(l, "vstream.out")
+	as.loop(uop.Seg0, l.Segs, func() {
+		as.ar(rd(as.reg(a, uop.Seg0), uop.DstDataOut))
+	})
+	as.ret()
+	return as.prog()
+}
+
+// Merge generates d ← v0 ? a : b (vmerge.vvm): two masked copies with the
+// mask latches loaded from v0 and then its complement.
+func Merge(l Layout, d, a, b int) *uop.Program {
+	as := newAsm(l, "vmerge")
+	as.loadMaskFromRow(as.regSeg(maskReg, 0), uop.SpreadLSB, false)
+	as.loop(uop.Seg0, l.Segs, func() {
+		as.copySeg(as.reg(d, uop.Seg0), as.reg(a, uop.Seg0), true)
+	})
+	as.loadMaskFromRow(as.regSeg(maskReg, 0), uop.SpreadLSB, true)
+	as.loop(uop.Seg1, l.Segs, func() {
+		as.copySeg(as.reg(d, uop.Seg1), as.reg(b, uop.Seg1), true)
+	})
+	as.ret()
+	return as.prog()
+}
+
+// MaskLogic generates d ← a op b over mask registers: masks live in the
+// element LSB of segment 0, so a single-row pass suffices (vmand.mm and
+// friends).
+func MaskLogic(l Layout, src uop.Src, d, a, b int) *uop.Program {
+	as := newAsm(l, "vmlogic."+src.String())
+	as.ar(blc(as.regSeg(a, 0), as.regSeg(b, 0)))
+	as.ar(wbRow(as.regSeg(d, 0), src, false))
+	as.ret()
+	return as.prog()
+}
+
+// Zero generates d ← 0.
+func Zero(l Layout, d int, masked bool) *uop.Program {
+	as := newAsm(l, "vzero")
+	as.maskPrologue(masked)
+	as.loop(uop.Seg0, l.Segs, func() {
+		as.ar(wrConst(as.reg(d, uop.Seg0), uop.SrcZero, masked))
+	})
+	as.ret()
+	return as.prog()
+}

@@ -1,0 +1,162 @@
+package uprog
+
+import (
+	"repro/internal/bitmat"
+	"repro/internal/uop"
+)
+
+// Saturating arithmetic (RVV vsaddu/vsadd/vssubu/vssub — part of the "all
+// 32-bit integer instructions" EVE supports, §I). The pattern is always:
+// compute the wrapped result, derive the overflow condition into the mask
+// latches from the operands' and result's top-segment sign bits (or the
+// adder's final carry, for the unsigned forms), then overwrite the
+// saturated lanes with the clamp constant under predication.
+//
+// The signed forms need the clamp constants staged through the data_in
+// port: rows 0..Segs-1 hold the INT32_MAX segment patterns and rows
+// Segs..2·Segs-1 the INT32_MIN patterns (SatConstRows builds them).
+//
+// Scratch usage: 0 = wrapped result, 1..3 = single-row sign scratch,
+// 4 = operand complement, 5 = masked-form staging.
+
+// SatConstRows builds the data_in rows the signed saturating forms expect.
+func SatConstRows(l Layout, cols int) []bitmat.Row {
+	rows := make([]bitmat.Row, 2*l.Segs)
+	maxRows := BroadcastRows(l, cols, 0x7FFFFFFF)
+	minRows := BroadcastRows(l, cols, 0x80000000)
+	copy(rows, maxRows)
+	copy(rows[l.Segs:], minRows)
+	return rows
+}
+
+// satFinish copies the clamped scratch result to the destination, honoring
+// v0 predication for masked forms.
+func (as *asm) satFinish(d, t int, masked bool) {
+	if masked {
+		as.loadMaskFromRow(as.regSeg(maskReg, 0), uop.SpreadLSB, false)
+	}
+	as.loop(uop.Bit1, as.l.Segs, func() {
+		as.copySeg(as.reg(d, uop.Bit1), as.reg(t, uop.Bit1), masked)
+	})
+	as.ret()
+}
+
+// SatAddU generates d ← saturate(a + b) in the unsigned range: lanes whose
+// final carry is set clamp to all-ones.
+func SatAddU(l Layout, d, a, b int, masked bool) *uop.Program {
+	as := newAsm(l, "vsaddu")
+	t := l.ScratchID(0)
+	as.clearCarry()
+	as.loop(uop.Seg0, l.Segs, func() {
+		as.ar(blc(as.reg(a, uop.Seg0), as.reg(b, uop.Seg0)))
+		as.ar(wbRow(as.reg(t, uop.Seg0), uop.SrcAdd, false))
+	})
+	// Mask ← final carry (sum of zeros is the carry-in at each LSB).
+	as.ar(blc(as.zero(), as.zero()))
+	as.ar(wbLatch(uop.DstMask, uop.SrcAdd, uop.SpreadLSB))
+	as.loop(uop.Seg1, l.Segs, func() {
+		as.ar(wrConst(as.reg(t, uop.Seg1), uop.SrcOnes, true))
+	})
+	as.satFinish(d, t, masked)
+	return as.prog()
+}
+
+// SatSubU generates d ← saturate(a − b) in the unsigned range: lanes that
+// borrow clamp to zero.
+func SatSubU(l Layout, d, a, b int, masked bool) *uop.Program {
+	as := newAsm(l, "vssubu")
+	t, nb, c := l.ScratchID(0), l.ScratchID(4), l.ScratchID(1)
+	as.loop(uop.Seg0, l.Segs, func() {
+		as.ar(blc(as.reg(b, uop.Seg0), as.reg(b, uop.Seg0)))
+		as.ar(wbRow(as.reg(nb, uop.Seg0), uop.SrcNand, false))
+	})
+	as.setCarry()
+	as.loop(uop.Seg1, l.Segs, func() {
+		as.ar(blc(as.reg(a, uop.Seg1), as.reg(nb, uop.Seg1)))
+		as.ar(wbRow(as.reg(t, uop.Seg1), uop.SrcAdd, false))
+	})
+	// Borrow = NOT final carry: materialize the carry, flip its LSB, load.
+	as.ar(blc(as.zero(), as.zero()))
+	as.ar(wbRow(as.regSeg(c, 0), uop.SrcAdd, false))
+	as.ar(blc(as.regSeg(c, 0), as.one()))
+	as.ar(wbRow(as.regSeg(c, 0), uop.SrcXor, false))
+	as.loadMaskFromRow(as.regSeg(c, 0), uop.SpreadLSB, false)
+	as.loop(uop.Seg2, l.Segs, func() {
+		as.ar(wrConst(as.reg(t, uop.Seg2), uop.SrcZero, true))
+	})
+	as.satFinish(d, t, masked)
+	return as.prog()
+}
+
+// signedOverflowClamp emits the shared tail of the signed forms: given the
+// wrapped result in t and the overflow-iff condition rows prepared by the
+// caller (u holds, at each group's MSB column, 1 when overflow is possible
+// by sign pattern), it derives positive/negative overflow masks from the
+// first operand's sign and writes the clamp constants.
+func (as *asm) signedOverflowClamp(t, a, u, v, w int) {
+	top := as.l.Segs - 1
+	// v ← sign(a) XOR sign(result): result flipped away from a.
+	as.ar(blc(as.regSeg(a, top), as.regSeg(t, top)))
+	as.ar(wbRow(as.regSeg(v, 0), uop.SrcXor, false))
+	// w ← u AND v: overflow happened.
+	as.ar(blc(as.regSeg(u, 0), as.regSeg(v, 0)))
+	as.ar(wbRow(as.regSeg(w, 0), uop.SrcAnd, false))
+	// Positive overflow: overflow with a ≥ 0 → clamp INT32_MAX.
+	as.ar(blc(as.regSeg(a, top), as.regSeg(a, top)))
+	as.ar(wbRow(as.regSeg(v, 0), uop.SrcNand, false)) // v = ~sign(a) row
+	as.ar(blc(as.regSeg(w, 0), as.regSeg(v, 0)))
+	as.ar(wbRow(as.regSeg(u, 0), uop.SrcAnd, false))
+	as.loadMaskFromRow(as.regSeg(u, 0), uop.SpreadMSB, false)
+	as.loop(uop.Seg2, as.l.Segs, func() {
+		as.ar(wrExt(as.reg(t, uop.Seg2), uop.ExtBy(0, uop.Seg2), true))
+	})
+	// Negative overflow: overflow with a < 0 → clamp INT32_MIN.
+	as.ar(blc(as.regSeg(w, 0), as.regSeg(a, top)))
+	as.ar(wbRow(as.regSeg(u, 0), uop.SrcAnd, false))
+	as.loadMaskFromRow(as.regSeg(u, 0), uop.SpreadMSB, false)
+	as.loop(uop.Seg3, as.l.Segs, func() {
+		as.ar(wrExt(as.reg(t, uop.Seg3), uop.ExtBy(as.l.Segs, uop.Seg3), true))
+	})
+}
+
+// SatAdd generates d ← saturate(a + b) in the signed range. Overflow is
+// possible only when the operands agree in sign and the result flips.
+func SatAdd(l Layout, d, a, b int, masked bool) *uop.Program {
+	as := newAsm(l, "vsadd")
+	t, u, v, w := l.ScratchID(0), l.ScratchID(1), l.ScratchID(2), l.ScratchID(3)
+	as.clearCarry()
+	as.loop(uop.Seg0, l.Segs, func() {
+		as.ar(blc(as.reg(a, uop.Seg0), as.reg(b, uop.Seg0)))
+		as.ar(wbRow(as.reg(t, uop.Seg0), uop.SrcAdd, false))
+	})
+	top := l.Segs - 1
+	// u ← NOT(sign(a) XOR sign(b)): operands agree in sign.
+	as.ar(blc(as.regSeg(a, top), as.regSeg(b, top)))
+	as.ar(wbRow(as.regSeg(u, 0), uop.SrcXnor, false))
+	as.signedOverflowClamp(t, a, u, v, w)
+	as.satFinish(d, t, masked)
+	return as.prog()
+}
+
+// SatSub generates d ← saturate(a − b) in the signed range. Overflow is
+// possible only when the operands differ in sign.
+func SatSub(l Layout, d, a, b int, masked bool) *uop.Program {
+	as := newAsm(l, "vssub")
+	t, u, v, w, nb := l.ScratchID(0), l.ScratchID(1), l.ScratchID(2), l.ScratchID(3), l.ScratchID(4)
+	as.loop(uop.Seg0, l.Segs, func() {
+		as.ar(blc(as.reg(b, uop.Seg0), as.reg(b, uop.Seg0)))
+		as.ar(wbRow(as.reg(nb, uop.Seg0), uop.SrcNand, false))
+	})
+	as.setCarry()
+	as.loop(uop.Seg1, l.Segs, func() {
+		as.ar(blc(as.reg(a, uop.Seg1), as.reg(nb, uop.Seg1)))
+		as.ar(wbRow(as.reg(t, uop.Seg1), uop.SrcAdd, false))
+	})
+	top := l.Segs - 1
+	// u ← sign(a) XOR sign(b): operands differ in sign.
+	as.ar(blc(as.regSeg(a, top), as.regSeg(b, top)))
+	as.ar(wbRow(as.regSeg(u, 0), uop.SrcXor, false))
+	as.signedOverflowClamp(t, a, u, v, w)
+	as.satFinish(d, t, masked)
+	return as.prog()
+}

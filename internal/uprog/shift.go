@@ -1,0 +1,230 @@
+package uprog
+
+import (
+	"fmt"
+
+	"repro/internal/uop"
+)
+
+// Shift micro-programs (§III-B/C). A one-bit shift of a full 32-bit element
+// is a pass over its segments: each segment is loaded into the constant
+// shifter, shifted one bit, and written back, with the spare shifter carrying
+// the bit crossing segment boundaries. Shifts by multiples of the segment
+// size move whole segments by row addressing instead — the bit-hybrid
+// circuit's shortcut over bit-parallel (§III-C). Variable (vector-vector)
+// shifts binary-decompose the per-element amount, predicating each partial
+// shift on the corresponding bit of the amount operand.
+
+// ShiftKind enumerates the shift macro-operations.
+type ShiftKind int
+
+// Shift kinds.
+const (
+	ShSLL ShiftKind = iota
+	ShSRL
+	ShSRA
+)
+
+func (k ShiftKind) String() string {
+	switch k {
+	case ShSLL:
+		return "sll"
+	case ShSRL:
+		return "srl"
+	case ShSRA:
+		return "sra"
+	}
+	return fmt.Sprintf("shift(%d)", int(k))
+}
+
+// clearSpare resets the spare shifter's inter-segment bit before a pass.
+func (as *asm) clearSpare() { as.ar(wbLatch(uop.DstSpare, uop.SrcZero, uop.SpreadNone)) }
+
+// leftPass emits one one-bit left shift over all segments of register r,
+// low to high, optionally predicated on the mask latches.
+func (as *asm) leftPass(r int, cond bool, cnt uop.Counter) {
+	as.clearSpare()
+	as.loop(cnt, as.l.Segs, func() {
+		as.ar(rd(as.reg(r, cnt), uop.DstCShift))
+		as.ar(lshift(cond))
+		as.ar(wbRow(as.reg(r, cnt), uop.SrcCShift, cond))
+	})
+}
+
+// rightPass emits one one-bit right shift over all segments of register r,
+// high to low.
+func (as *asm) rightPass(r int, cond bool, cnt uop.Counter) {
+	as.clearSpare()
+	top := as.l.RegRow(r, as.l.Segs-1)
+	as.loop(cnt, as.l.Segs, func() {
+		ref := uop.RowBy(top, cnt, -1)
+		as.ar(rd(ref, uop.DstCShift))
+		as.ar(rshift(cond))
+		as.ar(wbRow(ref, uop.SrcCShift, cond))
+	})
+}
+
+// segMoveLeft emits dst_s ← src_{s-q} (zero below), optionally predicated.
+// Unrolled: each segment's rows are static. src and dst may be the same
+// register (the descending order makes the in-place move safe).
+func (as *asm) segMoveLeft(dst, src, q int, cond bool) {
+	for s := as.l.Segs - 1; s >= 0; s-- {
+		if s >= q {
+			as.copySeg(as.regSeg(dst, s), as.regSeg(src, s-q), cond)
+		} else {
+			as.ar(wrConst(as.regSeg(dst, s), uop.SrcZero, cond))
+		}
+	}
+}
+
+// segMoveRight emits dst_s ← src_{s+q} (zero above), optionally predicated.
+func (as *asm) segMoveRight(dst, src, q int, cond bool) {
+	for s := 0; s < as.l.Segs; s++ {
+		if s+q < as.l.Segs {
+			as.copySeg(as.regSeg(dst, s), as.regSeg(src, s+q), cond)
+		} else {
+			as.ar(wrConst(as.regSeg(dst, s), uop.SrcZero, cond))
+		}
+	}
+}
+
+// ShiftImm generates d ← a <kind> k for a shift amount known at decode time
+// (vsll.vi/vx and friends — the VSU resolves scalar operands before
+// sequencing, so .vx shifts also take this path). k must be in [0, 31].
+//
+// For ShSRA with a shift that is not a whole number of segments, the VSU
+// must drive data_in row 0 with TopBitsRow(k%N) to sign-fill the partial
+// segment.
+func ShiftImm(l Layout, kind ShiftKind, d, a, k int, masked bool) *uop.Program {
+	if k < 0 || k > 31 {
+		panic(fmt.Sprintf("uprog: shift amount %d out of range", k))
+	}
+	as := newAsm(l, fmt.Sprintf("v%s.vi(%d)", kind, k))
+	dst := d
+	if masked {
+		dst = l.ScratchID(5)
+	}
+	q, r := k/l.N, k%l.N
+
+	if kind == ShSRA {
+		// Capture the sign before anything is overwritten.
+		as.loadMaskFromRow(as.regSeg(a, l.Segs-1), uop.SpreadMSB, false)
+	}
+	switch kind {
+	case ShSLL:
+		as.segMoveLeft(dst, a, q, false)
+		for p := 0; p < r; p++ {
+			as.leftPass(dst, false, uop.Seg0)
+		}
+	case ShSRL, ShSRA:
+		as.segMoveRight(dst, a, q, false)
+		for p := 0; p < r; p++ {
+			as.rightPass(dst, false, uop.Seg0)
+		}
+	}
+	if kind == ShSRA {
+		// Sign-fill the vacated top bits where the mask (sign) is set:
+		// whole segments with a masked ones-write, the partial segment by
+		// OR-ing a staged top-bits constant.
+		for s := l.Segs - q; s < l.Segs; s++ {
+			as.ar(wrConst(as.regSeg(dst, s), uop.SrcOnes, true))
+		}
+		if r > 0 {
+			stage := as.scrSeg(4, 0)
+			as.ar(wrExt(stage, uop.Ext(0), false))
+			part := as.regSeg(dst, l.Segs-1-q)
+			as.ar(blc(part, stage))
+			as.ar(wbRow(part, uop.SrcOr, true))
+		}
+	}
+	if masked {
+		as.loadMaskFromRow(as.regSeg(maskReg, 0), uop.SpreadLSB, false)
+		as.loop(uop.Seg1, l.Segs, func() {
+			as.copySeg(as.reg(d, uop.Seg1), as.reg(dst, uop.Seg1), true)
+		})
+	}
+	as.ret()
+	return as.prog()
+}
+
+// loadBitMask emits tuples loading the mask latches with bit i of register
+// b: the segment holding the bit is read into the XRegister, shifted until
+// the bit sits in the LSB column, and broadcast to the group.
+func (as *asm) loadBitMask(b, i int) {
+	seg, off := i/as.l.N, i%as.l.N
+	as.ar(rd(as.regSeg(b, seg), uop.DstXReg))
+	for j := 0; j < off; j++ {
+		as.ar(maskShift())
+	}
+	as.ar(wbLatch(uop.DstMask, uop.SrcXReg, uop.SpreadLSB))
+}
+
+// shiftVVCore emits the binary-decomposition variable shift of register w in
+// place, predicated per element on the amount in register b (bits 0..4).
+// Shifts of 2^i ≥ N move whole segments conditionally; smaller ones run 2^i
+// predicated one-bit passes (§III-C).
+func (as *asm) shiftVVCore(kind ShiftKind, w, b int) {
+	for i := 0; i <= 4; i++ {
+		as.loadBitMask(b, i)
+		m := 1 << i
+		if m%as.l.N == 0 {
+			q := m / as.l.N
+			if kind == ShSLL {
+				as.segMoveLeft(w, w, q, true)
+			} else {
+				as.segMoveRight(w, w, q, true)
+			}
+		} else {
+			for p := 0; p < m; p++ {
+				if kind == ShSLL {
+					as.leftPass(w, true, uop.Seg1)
+				} else {
+					as.rightPass(w, true, uop.Seg1)
+				}
+			}
+		}
+	}
+}
+
+// ShiftVV generates d ← a <kind> (b & 31) with a per-element shift amount.
+// ShSRA is composed from two logical-shift passes selected by the sign of a:
+// sra(a,k) = srl(a,k) for a ≥ 0 and ~srl(~a,k) otherwise.
+func ShiftVV(l Layout, kind ShiftKind, d, a, b int, masked bool) *uop.Program {
+	as := newAsm(l, fmt.Sprintf("v%s.vv", kind))
+	w := l.ScratchID(5)
+	// w ← a.
+	as.loop(uop.Seg0, l.Segs, func() {
+		as.copySeg(as.reg(w, uop.Seg0), as.reg(a, uop.Seg0), false)
+	})
+	switch kind {
+	case ShSLL, ShSRL:
+		as.shiftVVCore(kind, w, b)
+	case ShSRA:
+		w2 := l.ScratchID(4)
+		// w2 ← ~a, shifted logically, then complemented: the negative path.
+		as.loop(uop.Seg0, l.Segs, func() {
+			as.ar(blc(as.reg(a, uop.Seg0), as.reg(a, uop.Seg0)))
+			as.ar(wbRow(as.reg(w2, uop.Seg0), uop.SrcNand, false))
+		})
+		as.shiftVVCore(ShSRL, w, b)
+		as.shiftVVCore(ShSRL, w2, b)
+		as.loop(uop.Seg0, l.Segs, func() {
+			as.ar(blc(as.reg(w2, uop.Seg0), as.reg(w2, uop.Seg0)))
+			as.ar(wbRow(as.reg(w2, uop.Seg0), uop.SrcNand, false))
+		})
+		// Select w2 where a is negative by overwriting w there. The sign
+		// must be read from the untouched source a.
+		as.loadMaskFromRow(as.regSeg(a, l.Segs-1), uop.SpreadMSB, false)
+		as.loop(uop.Seg0, l.Segs, func() {
+			as.copySeg(as.reg(w, uop.Seg0), as.reg(w2, uop.Seg0), true)
+		})
+	}
+	if masked {
+		as.loadMaskFromRow(as.regSeg(maskReg, 0), uop.SpreadLSB, false)
+	}
+	as.loop(uop.Seg2, l.Segs, func() {
+		as.copySeg(as.reg(d, uop.Seg2), as.reg(w, uop.Seg2), masked)
+	})
+	as.ret()
+	return as.prog()
+}

@@ -1,0 +1,612 @@
+package uprog
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuits"
+	"repro/internal/uop"
+)
+
+// allN is every parallelization factor EVE supports.
+var allN = []int{1, 2, 4, 8, 16, 32}
+
+const testElems = 4
+
+// edge values exercised in every binary-operation test, combined with random
+// operands.
+var edges = []uint32{0, 1, 2, 3, 0x7FFFFFFF, 0x80000000, 0x80000001, 0xFFFFFFFF, 0xFFFFFFFE, 42}
+
+// opnds returns paired operand vectors of length testElems mixing edge cases
+// and random values.
+func opnds(rng *rand.Rand) (a, b []uint32) {
+	a = make([]uint32, testElems)
+	b = make([]uint32, testElems)
+	for i := range a {
+		if rng.Intn(2) == 0 {
+			a[i] = edges[rng.Intn(len(edges))]
+		} else {
+			a[i] = rng.Uint32()
+		}
+		if rng.Intn(2) == 0 {
+			b[i] = edges[rng.Intn(len(edges))]
+		} else {
+			b[i] = rng.Uint32()
+		}
+	}
+	return a, b
+}
+
+// runBinary stores a in v1 and b in v2, runs the program, and returns v3.
+func runBinary(t *testing.T, m *Machine, p *uop.Program, a, b []uint32, env *circuits.Env) []uint32 {
+	t.Helper()
+	for i := range a {
+		m.StoreElement(1, i, a[i])
+		m.StoreElement(2, i, b[i])
+	}
+	m.Run(p, env)
+	out := make([]uint32, len(a))
+	for i := range out {
+		out[i] = m.LoadElement(3, i)
+	}
+	return out
+}
+
+// checkBinary validates a binary macro-op against a Go reference for every
+// parallelization factor, over several random operand batches.
+func checkBinary(t *testing.T, name string, gen func(l Layout) *uop.Program,
+	ref func(a, b uint32) uint32, env func(l Layout, cols int) *circuits.Env) {
+	t.Helper()
+	for _, n := range allN {
+		m := NewMachine(n, testElems)
+		p := gen(m.Layout)
+		rng := rand.New(rand.NewSource(int64(n) * 7919))
+		for batch := 0; batch < 4; batch++ {
+			a, b := opnds(rng)
+			var e *circuits.Env
+			if env != nil {
+				e = env(m.Layout, m.Stack.Array().Cols())
+			}
+			got := runBinary(t, m, p, a, b, e)
+			for i := range got {
+				want := ref(a[i], b[i])
+				if got[i] != want {
+					t.Fatalf("%s n=%d elem %d: %#x op %#x = %#x, want %#x",
+						name, n, i, a[i], b[i], got[i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestAdd(t *testing.T) {
+	checkBinary(t, "vadd",
+		func(l Layout) *uop.Program { return Add(l, 3, 1, 2, false) },
+		func(a, b uint32) uint32 { return a + b }, nil)
+}
+
+func TestSub(t *testing.T) {
+	checkBinary(t, "vsub",
+		func(l Layout) *uop.Program { return Sub(l, 3, 1, 2, false) },
+		func(a, b uint32) uint32 { return a - b }, nil)
+}
+
+func TestRSub(t *testing.T) {
+	checkBinary(t, "vrsub",
+		func(l Layout) *uop.Program { return RSub(l, 3, 1, 2, false) },
+		func(a, b uint32) uint32 { return b - a }, nil)
+}
+
+func TestLogicOps(t *testing.T) {
+	cases := []struct {
+		src uop.Src
+		ref func(a, b uint32) uint32
+	}{
+		{uop.SrcAnd, func(a, b uint32) uint32 { return a & b }},
+		{uop.SrcOr, func(a, b uint32) uint32 { return a | b }},
+		{uop.SrcXor, func(a, b uint32) uint32 { return a ^ b }},
+		{uop.SrcNand, func(a, b uint32) uint32 { return ^(a & b) }},
+		{uop.SrcNor, func(a, b uint32) uint32 { return ^(a | b) }},
+		{uop.SrcXnor, func(a, b uint32) uint32 { return ^(a ^ b) }},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.src.String(), func(t *testing.T) {
+			checkBinary(t, "vlogic."+c.src.String(),
+				func(l Layout) *uop.Program { return Logic(l, c.src, 3, 1, 2, false) },
+				c.ref, nil)
+		})
+	}
+}
+
+func TestCopyAndNot(t *testing.T) {
+	checkBinary(t, "vmv",
+		func(l Layout) *uop.Program { return Copy(l, 3, 1, false) },
+		func(a, _ uint32) uint32 { return a }, nil)
+	checkBinary(t, "vnot",
+		func(l Layout) *uop.Program { return Not(l, 3, 1, false) },
+		func(a, _ uint32) uint32 { return ^a }, nil)
+}
+
+func TestZero(t *testing.T) {
+	checkBinary(t, "vzero",
+		func(l Layout) *uop.Program { return Zero(l, 3, false) },
+		func(_, _ uint32) uint32 { return 0 }, nil)
+}
+
+func TestMaskedAdd(t *testing.T) {
+	for _, n := range allN {
+		m := NewMachine(n, testElems)
+		p := Add(m.Layout, 3, 1, 2, true)
+		a := []uint32{10, 20, 30, 40}
+		b := []uint32{1, 2, 3, 4}
+		old := []uint32{100, 200, 300, 400}
+		for i := range a {
+			m.StoreElement(1, i, a[i])
+			m.StoreElement(2, i, b[i])
+			m.StoreElement(3, i, old[i])
+			// v0 mask: odd elements enabled.
+			var mv uint32
+			if i%2 == 1 {
+				mv = 1
+			}
+			m.StoreElement(0, i, mv)
+		}
+		m.Run(p, nil)
+		for i := range a {
+			want := old[i]
+			if i%2 == 1 {
+				want = a[i] + b[i]
+			}
+			if got := m.LoadElement(3, i); got != want {
+				t.Fatalf("n=%d masked add elem %d = %d, want %d", n, i, got, want)
+			}
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	for _, n := range allN {
+		m := NewMachine(n, testElems)
+		p := Merge(m.Layout, 3, 1, 2)
+		a := []uint32{11, 22, 33, 44}
+		b := []uint32{55, 66, 77, 88}
+		for i := range a {
+			m.StoreElement(1, i, a[i])
+			m.StoreElement(2, i, b[i])
+			m.StoreElement(0, i, uint32(i%2))
+		}
+		m.Run(p, nil)
+		for i := range a {
+			want := b[i]
+			if i%2 == 1 {
+				want = a[i]
+			}
+			if got := m.LoadElement(3, i); got != want {
+				t.Fatalf("n=%d merge elem %d = %d, want %d", n, i, got, want)
+			}
+		}
+	}
+}
+
+func TestMaskLogic(t *testing.T) {
+	for _, n := range allN {
+		m := NewMachine(n, testElems)
+		p := MaskLogic(m.Layout, uop.SrcAnd, 3, 1, 2)
+		bits := [][2]uint32{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+		for i, bb := range bits {
+			m.StoreElement(1, i, bb[0])
+			m.StoreElement(2, i, bb[1])
+		}
+		m.Run(p, nil)
+		for i, bb := range bits {
+			if got := m.LoadElement(3, i) & 1; got != bb[0]&bb[1] {
+				t.Fatalf("n=%d vmand elem %d = %d", n, i, got)
+			}
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	refs := map[CmpKind]func(a, b uint32) uint32{
+		CmpEq:  func(a, b uint32) uint32 { return b2u(a == b) },
+		CmpNe:  func(a, b uint32) uint32 { return b2u(a != b) },
+		CmpLtu: func(a, b uint32) uint32 { return b2u(a < b) },
+		CmpGeu: func(a, b uint32) uint32 { return b2u(a >= b) },
+		CmpGtu: func(a, b uint32) uint32 { return b2u(a > b) },
+		CmpLeu: func(a, b uint32) uint32 { return b2u(a <= b) },
+		CmpLt:  func(a, b uint32) uint32 { return b2u(int32(a) < int32(b)) },
+		CmpGe:  func(a, b uint32) uint32 { return b2u(int32(a) >= int32(b)) },
+		CmpGt:  func(a, b uint32) uint32 { return b2u(int32(a) > int32(b)) },
+		CmpLe:  func(a, b uint32) uint32 { return b2u(int32(a) <= int32(b)) },
+	}
+	for kind, ref := range refs {
+		kind, ref := kind, ref
+		t.Run(kind.String(), func(t *testing.T) {
+			checkBinary(t, "vcmp."+kind.String(),
+				func(l Layout) *uop.Program { return Compare(l, kind, 3, 1, 2, false) },
+				ref, nil)
+		})
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	cases := []struct {
+		name        string
+		max, signed bool
+		ref         func(a, b uint32) uint32
+	}{
+		{"minu", false, false, func(a, b uint32) uint32 { return min(a, b) }},
+		{"maxu", true, false, func(a, b uint32) uint32 { return max(a, b) }},
+		{"min", false, true, func(a, b uint32) uint32 { return uint32(min(int32(a), int32(b))) }},
+		{"max", true, true, func(a, b uint32) uint32 { return uint32(max(int32(a), int32(b))) }},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			checkBinary(t, "v"+c.name,
+				func(l Layout) *uop.Program { return MinMax(l, c.max, c.signed, 3, 1, 2, false) },
+				c.ref, nil)
+		})
+	}
+}
+
+func TestShiftImm(t *testing.T) {
+	shamts := []int{0, 1, 2, 3, 5, 7, 8, 15, 16, 17, 31}
+	for _, n := range allN {
+		m := NewMachine(n, testElems)
+		rng := rand.New(rand.NewSource(int64(n)))
+		for _, k := range shamts {
+			for _, kind := range []ShiftKind{ShSLL, ShSRL, ShSRA} {
+				p := ShiftImm(m.Layout, kind, 3, 1, k, false)
+				env := &circuits.Env{}
+				if kind == ShSRA && k%n != 0 {
+					env.ExtRows = append(env.ExtRows, TopBitsRow(m.Layout, m.Stack.Array().Cols(), k%n))
+				}
+				a, b := opnds(rng)
+				got := runBinary(t, m, p, a, b, env)
+				for i := range got {
+					var want uint32
+					switch kind {
+					case ShSLL:
+						want = a[i] << uint(k)
+					case ShSRL:
+						want = a[i] >> uint(k)
+					case ShSRA:
+						want = uint32(int32(a[i]) >> uint(k))
+					}
+					if got[i] != want {
+						t.Fatalf("n=%d v%s.vi(%d) elem %d: %#x -> %#x, want %#x",
+							n, kind, k, i, a[i], got[i], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestShiftVV(t *testing.T) {
+	for _, n := range allN {
+		m := NewMachine(n, testElems)
+		rng := rand.New(rand.NewSource(int64(n) * 31))
+		for _, kind := range []ShiftKind{ShSLL, ShSRL, ShSRA} {
+			p := ShiftVV(m.Layout, kind, 3, 1, 2, false)
+			for batch := 0; batch < 3; batch++ {
+				a, _ := opnds(rng)
+				b := make([]uint32, testElems)
+				for i := range b {
+					b[i] = uint32(rng.Intn(32))
+				}
+				got := runBinary(t, m, p, a, b, nil)
+				for i := range got {
+					k := uint(b[i] & 31)
+					var want uint32
+					switch kind {
+					case ShSLL:
+						want = a[i] << k
+					case ShSRL:
+						want = a[i] >> k
+					case ShSRA:
+						want = uint32(int32(a[i]) >> k)
+					}
+					if got[i] != want {
+						t.Fatalf("n=%d v%s.vv elem %d: %#x shift %d -> %#x, want %#x",
+							n, kind, i, a[i], k, got[i], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMul(t *testing.T) {
+	checkBinary(t, "vmul",
+		func(l Layout) *uop.Program { return Mul(l, 3, 1, 2, false, false) },
+		func(a, b uint32) uint32 { return a * b }, nil)
+}
+
+func TestMacc(t *testing.T) {
+	for _, n := range allN {
+		m := NewMachine(n, testElems)
+		p := Mul(m.Layout, 3, 1, 2, false, true)
+		a := []uint32{3, 5, 0xFFFFFFFF, 1 << 20}
+		b := []uint32{7, 11, 2, 1 << 13}
+		d := []uint32{1, 2, 3, 4}
+		for i := range a {
+			m.StoreElement(1, i, a[i])
+			m.StoreElement(2, i, b[i])
+			m.StoreElement(3, i, d[i])
+		}
+		m.Run(p, nil)
+		for i := range a {
+			want := d[i] + a[i]*b[i]
+			if got := m.LoadElement(3, i); got != want {
+				t.Fatalf("n=%d vmacc elem %d = %#x, want %#x", n, i, got, want)
+			}
+		}
+	}
+}
+
+func TestMulH(t *testing.T) {
+	checkBinary(t, "vmulhu",
+		func(l Layout) *uop.Program { return MulH(l, 3, 1, 2, false) },
+		func(a, b uint32) uint32 { return uint32(uint64(a) * uint64(b) >> 32) }, nil)
+}
+
+func TestDivRem(t *testing.T) {
+	divEnv := func(l Layout, cols int) *circuits.Env {
+		return &circuits.Env{ExtRows: BitConstRows(l, cols)}
+	}
+	refs := map[DivKind]func(a, b uint32) uint32{
+		DivU: func(a, b uint32) uint32 {
+			if b == 0 {
+				return ^uint32(0)
+			}
+			return a / b
+		},
+		RemU: func(a, b uint32) uint32 {
+			if b == 0 {
+				return a
+			}
+			return a % b
+		},
+		DivS: func(a, b uint32) uint32 {
+			sa, sb := int32(a), int32(b)
+			switch {
+			case sb == 0:
+				return ^uint32(0)
+			case sa == -1<<31 && sb == -1:
+				return a
+			default:
+				return uint32(sa / sb)
+			}
+		},
+		RemS: func(a, b uint32) uint32 {
+			sa, sb := int32(a), int32(b)
+			switch {
+			case sb == 0:
+				return a
+			case sa == -1<<31 && sb == -1:
+				return 0
+			default:
+				return uint32(sa % sb)
+			}
+		},
+	}
+	for kind, ref := range refs {
+		kind, ref := kind, ref
+		t.Run(kind.String(), func(t *testing.T) {
+			checkBinary(t, kind.String(),
+				func(l Layout) *uop.Program { return DivRem(l, kind, 3, 1, 2, false) },
+				ref, divEnv)
+		})
+	}
+}
+
+func TestDivSignedEdges(t *testing.T) {
+	cases := [][2]uint32{
+		{0x80000000, 0xFFFFFFFF}, // MinInt32 / -1 overflow
+		{0x80000000, 1},
+		{100, 0}, {0xFFFFFF9C, 0}, // divide by zero, positive and negative
+		{7, 0xFFFFFFFE},          // 7 / -2
+		{0xFFFFFFF9, 2},          // -7 / 2
+		{0xFFFFFFF9, 0xFFFFFFFE}, // -7 / -2
+	}
+	for _, n := range []int{1, 8, 32} {
+		m := NewMachine(n, testElems)
+		pd := DivRem(m.Layout, DivS, 3, 1, 2, false)
+		pr := DivRem(m.Layout, RemS, 4, 1, 2, false)
+		for _, c := range cases {
+			a := []uint32{c[0], c[0], c[0], c[0]}
+			b := []uint32{c[1], c[1], c[1], c[1]}
+			env := &circuits.Env{ExtRows: BitConstRows(m.Layout, m.Stack.Array().Cols())}
+			got := runBinary(t, m, pd, a, b, env)
+			env2 := &circuits.Env{ExtRows: BitConstRows(m.Layout, m.Stack.Array().Cols())}
+			m.Run(pr, env2)
+			gotR := m.LoadElement(4, 0)
+
+			sa, sb := int32(c[0]), int32(c[1])
+			var wantQ, wantR uint32
+			switch {
+			case sb == 0:
+				wantQ, wantR = ^uint32(0), c[0]
+			case sa == -1<<31 && sb == -1:
+				wantQ, wantR = c[0], 0
+			default:
+				wantQ, wantR = uint32(sa/sb), uint32(sa%sb)
+			}
+			if got[0] != wantQ {
+				t.Errorf("n=%d vdiv(%#x,%#x) = %#x, want %#x", n, c[0], c[1], got[0], wantQ)
+			}
+			if gotR != wantR {
+				t.Errorf("n=%d vrem(%#x,%#x) = %#x, want %#x", n, c[0], c[1], gotR, wantR)
+			}
+		}
+	}
+}
+
+func TestWriteExtBroadcast(t *testing.T) {
+	for _, n := range allN {
+		m := NewMachine(n, testElems)
+		p := WriteExt(m.Layout, 3, false)
+		const x = 0xDEADBEEF
+		env := &circuits.Env{ExtRows: BroadcastRows(m.Layout, m.Stack.Array().Cols(), x)}
+		m.Run(p, env)
+		for i := 0; i < testElems; i++ {
+			if got := m.LoadElement(3, i); got != x {
+				t.Fatalf("n=%d broadcast elem %d = %#x", n, i, got)
+			}
+		}
+	}
+}
+
+func TestStreamOut(t *testing.T) {
+	for _, n := range allN {
+		m := NewMachine(n, testElems)
+		vals := []uint32{0x01020304, 0xA5A5A5A5, 0, 0xFFFFFFFF}
+		for i, v := range vals {
+			m.StoreElement(5, i, v)
+		}
+		env := &circuits.Env{}
+		m.Run(StreamOut(m.Layout, 5), env)
+		if len(env.Out) != m.Layout.Segs {
+			t.Fatalf("n=%d streamed %d rows, want %d", n, len(env.Out), m.Layout.Segs)
+		}
+		// Reassemble elements from the streamed segment rows.
+		for i, v := range vals {
+			var got uint32
+			for s, row := range env.Out {
+				for b := 0; b < n; b++ {
+					if row.Bit(i*n + b) {
+						got |= 1 << uint(s*n+b)
+					}
+				}
+			}
+			if got != v {
+				t.Fatalf("n=%d stream elem %d = %#x, want %#x", n, i, got, v)
+			}
+		}
+	}
+}
+
+// TestCycleCountMatchesRun verifies the data-independence contract: the
+// counting executor (no datapath) and the full run take identical cycles.
+func TestCycleCountMatchesRun(t *testing.T) {
+	for _, n := range []int{1, 4, 32} {
+		m1 := NewMachine(n, testElems)
+		m2 := NewMachine(n, testElems)
+		progs := []*uop.Program{
+			Add(m1.Layout, 3, 1, 2, false),
+			Sub(m1.Layout, 3, 1, 2, false),
+			Mul(m1.Layout, 3, 1, 2, false, false),
+			Compare(m1.Layout, CmpLt, 3, 1, 2, false),
+			ShiftImm(m1.Layout, ShSLL, 3, 1, 7, false),
+			MinMax(m1.Layout, true, true, 3, 1, 2, false),
+		}
+		rng := rand.New(rand.NewSource(99))
+		for _, p := range progs {
+			a, b := opnds(rng)
+			for i := range a {
+				m1.StoreElement(1, i, a[i])
+				m1.StoreElement(2, i, b[i])
+			}
+			cRun := m1.Run(p, nil)
+			cCount := m2.CountCycles(p)
+			if cRun != cCount {
+				t.Errorf("n=%d %s: Run=%d cycles, CountCycles=%d", n, p.Name, cRun, cCount)
+			}
+		}
+	}
+}
+
+// TestLatencyShrinksWithParallelization checks the §II headline: macro-op
+// latency decreases as the parallelization factor grows.
+func TestLatencyShrinksWithParallelization(t *testing.T) {
+	gens := map[string]func(l Layout) *uop.Program{
+		"add": func(l Layout) *uop.Program { return Add(l, 3, 1, 2, false) },
+		"mul": func(l Layout) *uop.Program { return Mul(l, 3, 1, 2, false, false) },
+	}
+	for name, gen := range gens {
+		prev := 1 << 30
+		for _, n := range allN {
+			m := NewMachine(n, testElems)
+			c := m.CountCycles(gen(m.Layout))
+			if c >= prev {
+				t.Errorf("%s latency did not shrink: n=%d took %d cycles, previous factor took %d",
+					name, n, c, prev)
+			}
+			prev = c
+		}
+	}
+	// Bit-serial multiply must be "thousands of cycles" (§I).
+	m := NewMachine(1, testElems)
+	if c := m.CountCycles(Mul(m.Layout, 3, 1, 2, false, false)); c < 2000 {
+		t.Errorf("EVE-1 multiply took only %d cycles; expected thousands", c)
+	}
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// TestSaturatingOps validates vsaddu/vsadd/vssubu/vssub against Go
+// saturating semantics for every parallelization factor.
+func TestSaturatingOps(t *testing.T) {
+	satEnv := func(l Layout, cols int) *circuits.Env {
+		return &circuits.Env{ExtRows: SatConstRows(l, cols)}
+	}
+	cases := []struct {
+		name string
+		gen  func(l Layout) *uop.Program
+		ref  func(a, b uint32) uint32
+		env  func(l Layout, cols int) *circuits.Env
+	}{
+		{"vsaddu", func(l Layout) *uop.Program { return SatAddU(l, 3, 1, 2, false) },
+			func(a, b uint32) uint32 {
+				if s := uint64(a) + uint64(b); s > 0xFFFFFFFF {
+					return 0xFFFFFFFF
+				}
+				return a + b
+			}, nil},
+		{"vssubu", func(l Layout) *uop.Program { return SatSubU(l, 3, 1, 2, false) },
+			func(a, b uint32) uint32 {
+				if b > a {
+					return 0
+				}
+				return a - b
+			}, nil},
+		{"vsadd", func(l Layout) *uop.Program { return SatAdd(l, 3, 1, 2, false) },
+			func(a, b uint32) uint32 {
+				s := int64(int32(a)) + int64(int32(b))
+				if s > 0x7FFFFFFF {
+					return 0x7FFFFFFF
+				}
+				if s < -0x80000000 {
+					return 0x80000000
+				}
+				return uint32(s)
+			}, satEnv},
+		{"vssub", func(l Layout) *uop.Program { return SatSub(l, 3, 1, 2, false) },
+			func(a, b uint32) uint32 {
+				s := int64(int32(a)) - int64(int32(b))
+				if s > 0x7FFFFFFF {
+					return 0x7FFFFFFF
+				}
+				if s < -0x80000000 {
+					return 0x80000000
+				}
+				return uint32(s)
+			}, satEnv},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			checkBinary(t, c.name,
+				func(l Layout) *uop.Program { return c.gen(l) },
+				c.ref, c.env)
+		})
+	}
+}

@@ -1,0 +1,124 @@
+// Package vreg models how the vector register file maps onto physical EVE
+// SRAM arrays (paper §II, Fig 1): element capacity, in-situ ALU counts, and
+// row/column utilization as functions of the parallelization factor. These
+// geometric facts drive the hardware vector lengths of Table III and the
+// under-utilization effects behind Fig 2 and Fig 7.
+package vreg
+
+import "fmt"
+
+// Geometry describes one EVE SRAM array holding a vector register file.
+type Geometry struct {
+	N        int // parallelization factor (segment width, bits)
+	Rows     int // physical wordlines (256 for the paper's array)
+	Cols     int // physical bitlines (256)
+	Regs     int // architectural vector registers (32)
+	ElemBits int // element width (32)
+}
+
+// Standard returns the paper's array geometry for parallelization factor n:
+// a 256×256 logical array (two banked 256×128 sub-arrays) holding 32
+// registers of 32-bit elements.
+func Standard(n int) Geometry {
+	return Geometry{N: n, Rows: 256, Cols: 256, Regs: 32, ElemBits: 32}
+}
+
+// validate panics on inconsistent geometry — a configuration error.
+func (g Geometry) validate() {
+	if g.N <= 0 || g.ElemBits%g.N != 0 {
+		panic(fmt.Sprintf("vreg: N=%d must divide element width %d", g.N, g.ElemBits))
+	}
+}
+
+// Segs reports segments per element.
+func (g Geometry) Segs() int {
+	g.validate()
+	return g.ElemBits / g.N
+}
+
+// RowsPerElement reports the wordlines needed to hold every register's
+// segments for one element: Regs × Segs.
+func (g Geometry) RowsPerElement() int { return g.Regs * g.Segs() }
+
+// ColumnGroups reports how many n-column groups one element occupies. When
+// the register file does not fit in the array's rows (small n), registers
+// spill sideways into additional column groups whose ALUs then sit idle —
+// the column under-utilization of §II.
+func (g Geometry) ColumnGroups() int {
+	need := g.RowsPerElement()
+	k := (need + g.Rows - 1) / g.Rows
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// ElementWidth reports the columns one element spans.
+func (g Geometry) ElementWidth() int { return g.ColumnGroups() * g.N }
+
+// ElementsPerArray reports how many elements one array holds.
+func (g Geometry) ElementsPerArray() int { return g.Cols / g.ElementWidth() }
+
+// InSituALUs reports the number of concurrently useful ALUs: one per
+// element, regardless of how many column groups the element's registers
+// spill across (only the group holding both operands computes).
+func (g Geometry) InSituALUs() int { return g.ElementsPerArray() }
+
+// RowUtilization reports the fraction of wordlines holding register data.
+// Values below 1 are §II's row under-utilization (large n).
+func (g Geometry) RowUtilization() float64 {
+	used := g.RowsPerElement() / g.ColumnGroups()
+	if used > g.Rows {
+		used = g.Rows
+	}
+	return float64(used) / float64(g.Rows)
+}
+
+// ColUtilization reports the fraction of columns whose ALUs do useful work.
+// Values below 1 are §II's column under-utilization (small n).
+func (g Geometry) ColUtilization() float64 {
+	return float64(g.ElementsPerArray()*g.N) / float64(g.Cols)
+}
+
+// SubColumn reports which of the element's column groups holds register r.
+// Registers are distributed round-robin blocks across the groups; operations
+// whose operands live in different groups need extra move μops (the overhead
+// duality cache pays pervasively, §II), which the EVE timing model charges.
+func (g Geometry) SubColumn(r int) int {
+	if r < 0 || r >= g.Regs {
+		panic(fmt.Sprintf("vreg: register %d out of range", r))
+	}
+	perGroup := (g.Regs + g.ColumnGroups() - 1) / g.ColumnGroups()
+	return r / perGroup
+}
+
+// HWVL reports the hardware vector length of an EVE built from the given
+// number of arrays (Table III: 32 arrays — half of a 512 KB L2's 64
+// sub-arrays paired into 256×256 EVE SRAMs).
+func (g Geometry) HWVL(arrays int) int { return g.ElementsPerArray() * arrays }
+
+// LayoutCell describes one register's placement for Fig 1 style renderings.
+type LayoutCell struct {
+	Reg      int
+	Group    int // column group within the element
+	FirstRow int
+	RowSpan  int
+}
+
+// Placement returns every register's cell, for rendering Fig 1.
+func (g Geometry) Placement() []LayoutCell {
+	k := g.ColumnGroups()
+	perGroup := (g.Regs + k - 1) / k
+	cells := make([]LayoutCell, 0, g.Regs)
+	for r := 0; r < g.Regs; r++ {
+		grp := r / perGroup
+		idx := r % perGroup
+		cells = append(cells, LayoutCell{
+			Reg:      r,
+			Group:    grp,
+			FirstRow: idx * g.Segs(),
+			RowSpan:  g.Segs(),
+		})
+	}
+	return cells
+}

@@ -1,0 +1,105 @@
+package vreg
+
+import "testing"
+
+// TestTableIIIVectorLengths checks that the geometry reproduces the paper's
+// hardware vector lengths exactly (Table III): with 32 arrays,
+// EVE-{1,2,4} = 2048, EVE-8 = 1024, EVE-16 = 512, EVE-32 = 256.
+func TestTableIIIVectorLengths(t *testing.T) {
+	want := map[int]int{1: 2048, 2: 2048, 4: 2048, 8: 1024, 16: 512, 32: 256}
+	for n, vl := range want {
+		g := Standard(n)
+		if got := g.HWVL(32); got != vl {
+			t.Errorf("EVE-%d HWVL = %d, want %d", n, got, vl)
+		}
+	}
+}
+
+func TestElementsAndALUs(t *testing.T) {
+	wantElems := map[int]int{1: 64, 2: 64, 4: 64, 8: 32, 16: 16, 32: 8}
+	for n, e := range wantElems {
+		g := Standard(n)
+		if got := g.ElementsPerArray(); got != e {
+			t.Errorf("EVE-%d elements/array = %d, want %d", n, got, e)
+		}
+		if got := g.InSituALUs(); got != e {
+			t.Errorf("EVE-%d ALUs = %d, want %d", n, got, e)
+		}
+	}
+}
+
+// TestBalancedUtilization checks §II's claim: PF=4 is the balanced point for
+// a 256×256 array with 32 registers — full rows and full columns.
+func TestBalancedUtilization(t *testing.T) {
+	g := Standard(4)
+	if g.RowUtilization() != 1.0 || g.ColUtilization() != 1.0 {
+		t.Errorf("EVE-4 utilization = (%.2f rows, %.2f cols), want (1,1)",
+			g.RowUtilization(), g.ColUtilization())
+	}
+	// Column under-utilization below, row under-utilization above.
+	if Standard(1).ColUtilization() >= 1.0 {
+		t.Error("EVE-1 should be column under-utilized")
+	}
+	if Standard(1).RowUtilization() != 1.0 {
+		t.Error("EVE-1 rows should be fully utilized")
+	}
+	if Standard(16).RowUtilization() >= 1.0 {
+		t.Error("EVE-16 should be row under-utilized")
+	}
+	if Standard(16).ColUtilization() != 1.0 {
+		t.Error("EVE-16 columns should be fully utilized")
+	}
+}
+
+func TestColumnGroups(t *testing.T) {
+	want := map[int]int{1: 4, 2: 2, 4: 1, 8: 1, 16: 1, 32: 1}
+	for n, k := range want {
+		if got := Standard(n).ColumnGroups(); got != k {
+			t.Errorf("EVE-%d column groups = %d, want %d", n, got, k)
+		}
+	}
+}
+
+func TestSubColumnAssignment(t *testing.T) {
+	g := Standard(1) // 4 groups, 8 regs each
+	if g.SubColumn(0) != 0 || g.SubColumn(7) != 0 {
+		t.Error("regs 0-7 should be in group 0")
+	}
+	if g.SubColumn(8) != 1 || g.SubColumn(31) != 3 {
+		t.Error("regs 8 and 31 misplaced")
+	}
+	g4 := Standard(4)
+	for r := 0; r < 32; r++ {
+		if g4.SubColumn(r) != 0 {
+			t.Fatalf("EVE-4 reg %d not in group 0", r)
+		}
+	}
+}
+
+func TestPlacementCoversAllRegs(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16, 32} {
+		g := Standard(n)
+		cells := g.Placement()
+		if len(cells) != 32 {
+			t.Fatalf("EVE-%d placement has %d cells", n, len(cells))
+		}
+		for _, c := range cells {
+			if c.FirstRow+c.RowSpan > g.Rows {
+				t.Errorf("EVE-%d reg %d overflows rows: first %d span %d",
+					n, c.Reg, c.FirstRow, c.RowSpan)
+			}
+			if c.Group >= g.ColumnGroups() {
+				t.Errorf("EVE-%d reg %d in nonexistent group %d", n, c.Reg, c.Group)
+			}
+		}
+	}
+}
+
+func TestInvalidGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for N not dividing element width")
+		}
+	}()
+	Geometry{N: 5, Rows: 256, Cols: 256, Regs: 32, ElemBits: 32}.Segs()
+}

@@ -1,0 +1,81 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// NewBackprop builds the Rodinia backprop forward-pass kernel: hidden[j] =
+// Σ_i input[i]·W[i][j] over a row-major weight matrix, vectorized across the
+// input dimension. Reading weight column j then strides by 4·hid bytes —
+// with hid ≥ 16 no two elements share a cacheline, the pathology behind
+// backprop's >90% VMU cache-induced stalls in Fig 8 ("strided-memory
+// operations with a very large stride").
+func NewBackprop(in, hid int) *Kernel {
+	return &Kernel{
+		Name:  "backprop",
+		Suite: "ro",
+		Input: fmt.Sprintf("%d->%d", in, hid),
+		Run: func(b *isa.Builder, vector bool) CheckFunc {
+			f := b.Mem
+			input := f.AllocU32(in)
+			w := f.AllocU32(in * hid)
+			hidden := f.AllocU32(hid)
+			rng := lcg(57)
+			X := make([]uint32, in)
+			W := make([]uint32, in*hid)
+			for i := range X {
+				X[i] = rng.nextSmall(256)
+				f.StoreU32(input+uint64(4*i), X[i])
+			}
+			for i := range W {
+				W[i] = rng.nextSmall(256)
+				f.StoreU32(w+uint64(4*i), W[i])
+			}
+			want := make([]uint32, hid)
+			for j := 0; j < hid; j++ {
+				var acc uint32
+				for i := 0; i < in; i++ {
+					acc += X[i] * W[i*hid+j]
+				}
+				want[j] = acc >> 4 // integer squash stands in for sigmoid
+			}
+
+			if vector {
+				for j := 0; j < hid; j++ {
+					b.MvVX(4, 0)
+					for i0 := 0; i0 < in; {
+						vl := b.SetVL(in - i0)
+						b.Load(1, input+uint64(4*i0)) // unit-stride activations
+						// Weight column j: stride 4·hid bytes.
+						b.LoadStride(2, w+uint64(4*(i0*hid+j)), int64(4*hid))
+						b.Macc(4, 1, 2)
+						b.ScalarOps(3)
+						i0 += vl
+					}
+					b.MvSX(5, 0)
+					b.RedSum(6, 4, 5)
+					hj := b.MvXS(6)
+					b.ScalarOps(3)
+					b.ScalarStore(hidden+uint64(4*j), hj>>4)
+				}
+				b.Fence()
+			} else {
+				for j := 0; j < hid; j++ {
+					var acc uint32
+					for i := 0; i < in; i++ {
+						x := b.ScalarLoad(input + uint64(4*i))
+						wv := b.ScalarLoad(w + uint64(4*(i*hid+j)))
+						acc += x * wv
+						b.ScalarMuls(1)
+						b.ScalarOps(2)
+					}
+					b.ScalarOps(3)
+					b.ScalarStore(hidden+uint64(4*j), acc>>4)
+				}
+			}
+			return func() error { return checkU32(b, "backprop", hidden, want) }
+		},
+	}
+}

@@ -1,0 +1,71 @@
+package workloads
+
+import (
+	"math"
+
+	"repro/internal/isa"
+	"repro/internal/softfp"
+)
+
+// NewFPSaxpy builds the §IX future-work exploration: a binary32 SAXPY
+// (y ← a·x + y) where the vector systems run floating point as softfloat
+// sequences of integer vector instructions (internal/softfp) — the only way
+// an integer-only EVE executes FP — while the scalar baseline uses its
+// hardware FPU (one multiply-class instruction per flop).
+//
+// The kernel is not part of the paper's Table IV suite; it exists to ask
+// the paper's closing question — does bit-hybrid execution balance latency
+// and throughput for FP too? — and is exercised by BenchmarkFutureWorkFP32.
+// Comparing against IV/DV would require native FP pipe models, so the
+// kernel is only meaningful on scalar and EVE systems.
+func NewFPSaxpy(n int) *Kernel {
+	const a = float32(2.5)
+	aBits := math.Float32bits(a)
+	return &Kernel{
+		Name:  "fp-saxpy",
+		Suite: "x",
+		Input: itoa(n),
+		Run: func(b *isa.Builder, vector bool) CheckFunc {
+			f := b.Mem
+			xAddr, yAddr := f.AllocU32(n), f.AllocU32(n)
+			rng := lcg(0xF0)
+			want := make([]uint32, n)
+			for i := 0; i < n; i++ {
+				// Finite normal values with moderate exponents.
+				x := math.Float32bits(float32(int32(rng.nextSmall(2000))-1000) / 16)
+				y := math.Float32bits(float32(int32(rng.nextSmall(2000))-1000) / 8)
+				f.StoreU32(xAddr+uint64(4*i), x)
+				f.StoreU32(yAddr+uint64(4*i), y)
+				want[i] = softfp.ReferenceAdd32(softfp.ReferenceMul32(aBits, x), y)
+			}
+
+			if vector {
+				for i := 0; i < n; {
+					vl := b.SetVL(n - i)
+					off := uint64(4 * i)
+					b.Load(1, xAddr+off)
+					b.Load(2, yAddr+off)
+					b.MvVX(4, aBits)
+					softfp.Mul32(b, 5, 4, 1)
+					softfp.Add32(b, 6, 5, 2)
+					b.Store(6, yAddr+off)
+					b.ScalarOps(5)
+					i += vl
+				}
+				b.Fence()
+			} else {
+				for i := 0; i < n; i++ {
+					off := uint64(4 * i)
+					x := b.ScalarLoad(xAddr + off)
+					y := b.ScalarLoad(yAddr + off)
+					// Hardware FPU: one multiply-class op per flop.
+					b.ScalarMuls(2)
+					b.ScalarOps(2)
+					v := softfp.ReferenceAdd32(softfp.ReferenceMul32(aBits, x), y)
+					b.ScalarStore(yAddr+off, v)
+				}
+			}
+			return func() error { return checkU32(b, "fp-saxpy", yAddr, want) }
+		},
+	}
+}

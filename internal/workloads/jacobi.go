@@ -1,0 +1,120 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// NewJacobi2D builds the RiVEC jacobi-2d kernel in integer form: t
+// sweeps of the five-point stencil out[i,j] = (4·c + n + s + e + w) >> 3
+// over an n×n interior with a padded halo. East/west neighbors come from
+// unaligned unit-stride loads of the shifted row; each row strip also
+// accumulates a convergence term reduced with vredsum (Table IV's xe share).
+// The ×4 center weight is strength-reduced to a shift, as LLVM's vectorizer
+// does — our integer stencil therefore shows no imul, unlike the paper's
+// fixed-point variant (recorded in EXPERIMENTS.md).
+func NewJacobi2D(n, iters int) *Kernel {
+	stride := n + 2 // padded row length
+	return &Kernel{
+		Name:  "jacobi-2d",
+		Suite: "rv",
+		Input: fmt.Sprintf("%dx%d", n, iters),
+		Run: func(b *isa.Builder, vector bool) CheckFunc {
+			f := b.Mem
+			gridA := f.AllocU32(stride * stride)
+			gridB := f.AllocU32(stride * stride)
+			rng := lcg(41)
+			A := make([]uint32, stride*stride)
+			for i := 1; i <= n; i++ {
+				for j := 1; j <= n; j++ {
+					A[i*stride+j] = rng.nextSmall(4096)
+				}
+			}
+			for i, v := range A {
+				f.StoreU32(gridA+uint64(4*i), v)
+				f.StoreU32(gridB+uint64(4*i), v)
+			}
+			// Reference sweeps.
+			want := make([]uint32, len(A))
+			copy(want, A)
+			tmp := make([]uint32, len(A))
+			for t := 0; t < iters; t++ {
+				copy(tmp, want)
+				for i := 1; i <= n; i++ {
+					for j := 1; j <= n; j++ {
+						c := want[i*stride+j]
+						sum := 4*c + want[(i-1)*stride+j] + want[(i+1)*stride+j] +
+							want[i*stride+j-1] + want[i*stride+j+1]
+						tmp[i*stride+j] = sum >> 3
+					}
+				}
+				copy(want, tmp)
+			}
+
+			at := func(base uint64, i, j int) uint64 { return base + uint64(4*(i*stride+j)) }
+			cur, nxt := gridA, gridB
+			if vector {
+				b.SetVL(1)
+				b.MvVX(15, 0) // convergence accumulator
+				for t := 0; t < iters; t++ {
+					for i := 1; i <= n; i++ {
+						for j0 := 1; j0 <= n; {
+							vl := b.SetVL(n - j0 + 1)
+							b.Load(1, at(cur, i, j0))   // center
+							b.Load(2, at(cur, i-1, j0)) // north
+							b.Load(3, at(cur, i+1, j0)) // south
+							b.Load(4, at(cur, i, j0+1)) // east (unaligned)
+							b.Load(5, at(cur, i, j0-1)) // west (unaligned)
+							b.Add(6, 2, 3)
+							b.Add(6, 6, 4)
+							b.Add(6, 6, 5)
+							b.SllVX(7, 1, 2) // 4·center, strength-reduced
+							b.Add(6, 6, 7)
+							b.SraVX(6, 6, 3)
+							b.Store(6, at(nxt, i, j0))
+							// Convergence term: Σ new values feeds the
+							// stopping test (the kernel's xe share).
+							b.RedSum(15, 6, 15)
+							b.ScalarOps(7)
+							j0 += vl
+						}
+					}
+					cur, nxt = nxt, cur
+					b.ScalarOps(2)
+				}
+				b.MvXS(15)
+				b.Fence()
+			} else {
+				for t := 0; t < iters; t++ {
+					for i := 1; i <= n; i++ {
+						for j := 1; j <= n; j++ {
+							c := b.ScalarLoad(at(cur, i, j))
+							nn := b.ScalarLoad(at(cur, i-1, j))
+							ss := b.ScalarLoad(at(cur, i+1, j))
+							ee := b.ScalarLoad(at(cur, i, j+1))
+							ww := b.ScalarLoad(at(cur, i, j-1))
+							b.ScalarMuls(1)
+							b.ScalarOps(6)
+							b.ScalarStore(at(nxt, i, j), (4*c+nn+ss+ee+ww)>>3)
+						}
+					}
+					cur, nxt = nxt, cur
+					b.ScalarOps(2)
+				}
+			}
+			return func() error {
+				for i := 1; i <= n; i++ {
+					for j := 1; j <= n; j++ {
+						got := b.Mem.LoadU32(at(cur, i, j))
+						if got != want[i*stride+j] {
+							return fmt.Errorf("jacobi-2d: (%d,%d) = %d, want %d",
+								i, j, got, want[i*stride+j])
+						}
+					}
+				}
+				return nil
+			}
+		},
+	}
+}

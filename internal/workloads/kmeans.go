@@ -1,0 +1,132 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// NewKMeans builds one assignment+update iteration of integer k-means over
+// n points with f features and k clusters. Points are stored row-major, so
+// the vectorized assignment (over points) reads each feature column with a
+// constant stride of 4f bytes — for f ≥ 16 every element lands on its own
+// cacheline, the access pattern behind k-means' VMU cache-induced stalls in
+// Fig 8. Cluster selection uses predicated merges (Table IV: prd ≈ 1%,
+// idx/st traffic).
+func NewKMeans(n, f, k int) *Kernel {
+	return &Kernel{
+		Name:  "k-means",
+		Suite: "ro",
+		Input: fmt.Sprintf("%dx%d k=%d", n, f, k),
+		Run: func(b *isa.Builder, vector bool) CheckFunc {
+			mf := b.Mem
+			pts := mf.AllocU32(n * f)
+			cent := mf.AllocU32(k * f)
+			assign := mf.AllocU32(n)
+			rng := lcg(13)
+			P := make([]uint32, n*f)
+			C := make([]uint32, k*f)
+			for i := range P {
+				P[i] = rng.nextSmall(1024)
+				mf.StoreU32(pts+uint64(4*i), P[i])
+			}
+			for i := range C {
+				C[i] = rng.nextSmall(1024)
+				mf.StoreU32(cent+uint64(4*i), C[i])
+			}
+			// Reference assignment.
+			want := make([]uint32, n)
+			for p := 0; p < n; p++ {
+				best, bestK := uint32(1<<31-1), uint32(0)
+				for c := 0; c < k; c++ {
+					var d uint32
+					for j := 0; j < f; j++ {
+						diff := P[p*f+j] - C[c*f+j]
+						d += diff * diff
+					}
+					if int32(d) < int32(best) {
+						best, bestK = d, uint32(c)
+					}
+				}
+				want[p] = bestK
+			}
+
+			if vector {
+				for p0 := 0; p0 < n; {
+					vl := b.SetVL(n - p0)
+					b.MvVX(8, 1<<31-1) // best distance
+					b.MvVX(9, 0)       // best cluster
+					for c := 0; c < k; c++ {
+						b.MvVX(10, 0) // distance accumulator
+						for j := 0; j < f; j++ {
+							// Feature column j of the point block: stride 4f.
+							b.LoadStride(1, pts+uint64(4*(p0*f+j)), int64(4*f))
+							cv := b.ScalarLoad(cent + uint64(4*(c*f+j)))
+							b.SubVX(2, 1, cv)
+							b.Macc(10, 2, 2)
+							b.ScalarOps(2)
+						}
+						// Keep the smaller distance and its cluster id.
+						b.MSlt(0, 10, 8)
+						b.Merge(8, 10, 8)
+						b.MvVX(11, uint32(c))
+						b.Merge(9, 11, 9)
+						b.ScalarOps(2)
+					}
+					b.Store(9, assign+uint64(4*p0))
+					b.ScalarOps(5)
+					p0 += vl
+				}
+				// Convergence pass: gather each point's assigned-centroid
+				// leading feature through an indexed load (the kernel's idx
+				// traffic, Table IV) and reduce it into a drift metric the
+				// host uses as the stopping criterion.
+				b.SetVL(1)
+				b.MvVX(15, 0)
+				for p0 := 0; p0 < n; {
+					vl := b.SetVL(n - p0)
+					b.Load(12, assign+uint64(4*p0))
+					b.MulVX(13, 12, uint32(4*f)) // byte offset of centroid row
+					b.LoadIdx(14, cent, 13)
+					b.RedSum(15, 14, 15)
+					b.ScalarOps(4)
+					p0 += vl
+				}
+				b.MvXS(15)
+				b.Fence()
+				// Centroid update: delta-based accumulation on the scalar
+				// core — a few operations per point, as in Rodinia's
+				// incremental update (the full recompute is a separate
+				// kernel outside the ROI).
+				for p := 0; p < n; p++ {
+					b.ScalarLoad(assign + uint64(4*p))
+					b.ScalarLoad(pts + uint64(4*p*f))
+					b.ScalarOps(8)
+				}
+			} else {
+				for p := 0; p < n; p++ {
+					best, bestK := uint32(1<<31-1), uint32(0)
+					for c := 0; c < k; c++ {
+						var d uint32
+						for j := 0; j < f; j++ {
+							x := b.ScalarLoad(pts + uint64(4*(p*f+j)))
+							y := b.ScalarLoad(cent + uint64(4*(c*f+j)))
+							diff := x - y
+							d += diff * diff
+							b.ScalarMuls(1)
+							b.ScalarOps(2)
+						}
+						if int32(d) < int32(best) {
+							best, bestK = d, uint32(c)
+						}
+						b.ScalarOps(2)
+					}
+					b.ScalarStore(assign+uint64(4*p), bestK)
+					// Update pass contribution (delta-based, as above).
+					b.ScalarOps(8)
+				}
+			}
+			return func() error { return checkU32(b, "k-means", assign, want) }
+		},
+	}
+}

@@ -1,0 +1,87 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// NewMMult builds the integer matrix multiplication kernel C = A×B with A
+// m×kk and B kk×n, the compute-bound member of the suite (multiply
+// dominated; the paper's Fig 7 shows EVE spending nearly all time busy
+// here). The vectorization is the outer-product form: C[i,:] accumulates
+// vmacc.vx of A[i,k] against B[k,:] along full rows, so a wide n keeps even
+// EVE's 2048-element vectors filled, like the paper's 1024×1024 input.
+func NewMMult(dims ...int) *Kernel {
+	m, kk, n := 40, 40, 2048
+	switch len(dims) {
+	case 1:
+		m, kk, n = dims[0], dims[0], dims[0]
+	case 3:
+		m, kk, n = dims[0], dims[1], dims[2]
+	}
+	return &Kernel{
+		Name:  "mmult",
+		Suite: "k",
+		Input: fmt.Sprintf("%dx%dx%d", m, kk, n),
+		Run: func(b *isa.Builder, vector bool) CheckFunc {
+			f := b.Mem
+			aAddr, bAddr, cAddr := f.AllocU32(m*kk), f.AllocU32(kk*n), f.AllocU32(m*n)
+			rng := lcg(7)
+			A := make([]uint32, m*kk)
+			B := make([]uint32, kk*n)
+			for i := range A {
+				A[i] = rng.nextSmall(64)
+				f.StoreU32(aAddr+uint64(4*i), A[i])
+			}
+			for i := range B {
+				B[i] = rng.nextSmall(64)
+				f.StoreU32(bAddr+uint64(4*i), B[i])
+			}
+			want := make([]uint32, m*n)
+			for i := 0; i < m; i++ {
+				for k := 0; k < kk; k++ {
+					aik := A[i*kk+k]
+					for j := 0; j < n; j++ {
+						want[i*n+j] += aik * B[k*n+j]
+					}
+				}
+			}
+
+			if vector {
+				for i := 0; i < m; i++ {
+					for j0 := 0; j0 < n; {
+						vl := b.SetVL(n - j0)
+						b.MvVX(3, 0)
+						for k := 0; k < kk; k++ {
+							aik := b.ScalarLoad(aAddr + uint64(4*(i*kk+k)))
+							b.Load(1, bAddr+uint64(4*(k*n+j0)))
+							b.MaccVX(3, 1, aik)
+							b.ScalarOps(3)
+						}
+						b.Store(3, cAddr+uint64(4*(i*n+j0)))
+						b.ScalarOps(4)
+						j0 += vl
+					}
+				}
+				b.Fence()
+			} else {
+				for i := 0; i < m; i++ {
+					for j := 0; j < n; j++ {
+						var acc uint32
+						for k := 0; k < kk; k++ {
+							x := b.ScalarLoad(aAddr + uint64(4*(i*kk+k)))
+							y := b.ScalarLoad(bAddr + uint64(4*(k*n+j)))
+							acc += x * y
+							b.ScalarMuls(1)
+							b.ScalarOps(2)
+						}
+						b.ScalarStore(cAddr+uint64(4*(i*n+j)), acc)
+						b.ScalarOps(2)
+					}
+				}
+			}
+			return func() error { return checkU32(b, "mmult", cAddr, want) }
+		},
+	}
+}

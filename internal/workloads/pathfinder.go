@@ -1,0 +1,110 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// NewPathfinder builds the Rodinia pathfinder kernel: a dynamic-programming
+// sweep over a rows×cols grid where each cell adds its weight to the
+// minimum of the three neighbors below. The vectorization loads three
+// overlapping shifted windows of the previous row and selects minima with
+// predicated compare+merge pairs, giving the suite's highest predication
+// share (Table IV: prd = 25%). Row boundaries use +inf sentinels.
+func NewPathfinder(rows, cols int) *Kernel {
+	const inf = uint32(1 << 30)
+	return &Kernel{
+		Name:  "pathfinder",
+		Suite: "ro",
+		Input: fmt.Sprintf("%dx%d", cols, rows),
+		Run: func(b *isa.Builder, vector bool) CheckFunc {
+			f := b.Mem
+			// Each DP row is padded with a sentinel on both sides.
+			wall := f.AllocU32(rows * cols)
+			src := f.AllocU32(cols + 2)
+			dst := f.AllocU32(cols + 2)
+			rng := lcg(29)
+			W := make([]uint32, rows*cols)
+			for i := range W {
+				W[i] = rng.nextSmall(10)
+				f.StoreU32(wall+uint64(4*i), W[i])
+			}
+			// Row 0 of the DP is the wall's first row.
+			prev := make([]uint32, cols)
+			copy(prev, W[:cols])
+			f.StoreU32(src, inf)
+			f.StoreU32(src+uint64(4*(cols+1)), inf)
+			f.StoreU32(dst, inf)
+			f.StoreU32(dst+uint64(4*(cols+1)), inf)
+			for j := 0; j < cols; j++ {
+				f.StoreU32(src+uint64(4*(j+1)), prev[j])
+			}
+			// Reference result.
+			want := make([]uint32, cols)
+			copy(want, prev)
+			for r := 1; r < rows; r++ {
+				next := make([]uint32, cols)
+				for j := 0; j < cols; j++ {
+					m := want[j]
+					if j > 0 && want[j-1] < m {
+						m = want[j-1]
+					}
+					if j < cols-1 && want[j+1] < m {
+						m = want[j+1]
+					}
+					next[j] = W[r*cols+j] + m
+				}
+				want = next
+			}
+
+			cur, nxt := src, dst
+			if vector {
+				for r := 1; r < rows; r++ {
+					for j0 := 0; j0 < cols; {
+						vl := b.SetVL(cols - j0)
+						base := cur + uint64(4*(j0+1))
+						b.Load(1, base)   // center
+						b.Load(2, base-4) // left
+						b.Load(3, base+4) // right
+						// Predicated three-way minimum.
+						b.MSlt(0, 2, 1)
+						b.Merge(4, 2, 1)
+						b.MSlt(0, 3, 4)
+						b.Merge(4, 3, 4)
+						b.Load(5, wall+uint64(4*(r*cols+j0)))
+						b.Add(6, 4, 5)
+						b.Store(6, nxt+uint64(4*(j0+1)))
+						b.ScalarOps(6)
+						j0 += vl
+					}
+					cur, nxt = nxt, cur
+					b.ScalarOps(3)
+				}
+				b.Fence()
+			} else {
+				for r := 1; r < rows; r++ {
+					for j := 0; j < cols; j++ {
+						base := cur + uint64(4*(j+1))
+						c := b.ScalarLoad(base)
+						l := b.ScalarLoad(base - 4)
+						rt := b.ScalarLoad(base + 4)
+						m := c
+						if int32(l) < int32(m) {
+							m = l
+						}
+						if int32(rt) < int32(m) {
+							m = rt
+						}
+						w := b.ScalarLoad(wall + uint64(4*(r*cols+j)))
+						b.ScalarOps(6)
+						b.ScalarStore(nxt+uint64(4*(j+1)), w+m)
+					}
+					cur, nxt = nxt, cur
+					b.ScalarOps(3)
+				}
+			}
+			return func() error { return checkU32(b, "pathfinder", cur+4, want) }
+		},
+	}
+}

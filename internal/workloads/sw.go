@@ -1,0 +1,151 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// NewSW builds a Smith-Waterman local alignment kernel over two length-n
+// sequences with linear gap penalty, vectorized along anti-diagonals: cells
+// on a diagonal are independent, the query is read unit-stride and the
+// database reversed with a negative constant stride, the substitution score
+// comes from a predicated compare+merge, and the running best score is
+// tracked with vredmax (Table IV: ialu-heavy with xe and st traffic).
+func NewSW(n int) *Kernel {
+	const (
+		match    = 2
+		mismatch = ^uint32(0) // -1
+		gap      = 1
+	)
+	return &Kernel{
+		Name:  "sw",
+		Suite: "g",
+		Input: itoa(n),
+		Run: func(b *isa.Builder, vector bool) CheckFunc {
+			f := b.Mem
+			seqA := f.AllocU32(n + 1) // 1-based
+			seqB := f.AllocU32(n + 1)
+			// Three diagonal buffers indexed by i in [0, n], zero-padded.
+			buf := [3]uint64{f.AllocU32(n + 2), f.AllocU32(n + 2), f.AllocU32(n + 2)}
+			out := f.AllocU32(1)
+			rng := lcg(73)
+			A := make([]uint32, n+1)
+			B := make([]uint32, n+1)
+			for i := 1; i <= n; i++ {
+				A[i] = rng.nextSmall(4)
+				B[i] = rng.nextSmall(4)
+				f.StoreU32(seqA+uint64(4*i), A[i])
+				f.StoreU32(seqB+uint64(4*i), B[i])
+			}
+			// Reference DP.
+			H := make([][]int32, n+1)
+			for i := range H {
+				H[i] = make([]int32, n+1)
+			}
+			var wantMax int32
+			for i := 1; i <= n; i++ {
+				for j := 1; j <= n; j++ {
+					s := int32(-1)
+					if A[i] == B[j] {
+						s = match
+					}
+					v := H[i-1][j-1] + s
+					if up := H[i-1][j] - gap; up > v {
+						v = up
+					}
+					if left := H[i][j-1] - gap; left > v {
+						v = left
+					}
+					if v < 0 {
+						v = 0
+					}
+					H[i][j] = v
+					if v > wantMax {
+						wantMax = v
+					}
+				}
+			}
+
+			if vector {
+				// prev2, prev1, cur rotate through buf. Diagonal d holds
+				// cells (i, d-i); up = prev1[i-1], left = prev1[i],
+				// diag = prev2[i-1].
+				b.SetVL(1)
+				b.MvVX(14, 0) // running max accumulator (element 0 used)
+				for d := 2; d <= 2*n; d++ {
+					prev2, prev1, cur := buf[d%3], buf[(d+1)%3], buf[(d+2)%3]
+					lo := max(1, d-n)
+					hi := min(n, d-1)
+					for i0 := lo; i0 <= hi; {
+						vl := b.SetVL(hi - i0 + 1)
+						b.Load(1, seqA+uint64(4*i0))               // a chars
+						b.LoadStride(2, seqB+uint64(4*(d-i0)), -4) // b chars reversed
+						b.MSeq(0, 1, 2)                            // match mask
+						b.MvVX(3, match)
+						b.MvVX(4, mismatch)
+						b.Merge(5, 3, 4) // substitution score
+						b.Load(6, prev2+uint64(4*(i0-1)))
+						b.Add(7, 6, 5) // diag + score
+						b.Load(8, prev1+uint64(4*(i0-1)))
+						b.SubVX(9, 8, gap) // up - gap
+						b.Load(10, prev1+uint64(4*i0))
+						b.SubVX(11, 10, gap) // left - gap
+						b.Max(12, 7, 9)
+						b.Max(12, 12, 11)
+						b.MaxVX(12, 12, 0)
+						b.Store(12, cur+uint64(4*i0))
+						b.RedMax(14, 12, 14)
+						b.ScalarOps(8)
+						i0 += vl
+					}
+					b.ScalarOps(4)
+				}
+				best := b.MvXS(14)
+				b.Fence()
+				b.ScalarStore(out, best)
+			} else {
+				prev2 := make([]uint32, n+2)
+				prev1 := make([]uint32, n+2)
+				var best int32
+				for d := 2; d <= 2*n; d++ {
+					cur := make([]uint32, n+2)
+					lo := max(1, d-n)
+					hi := min(n, d-1)
+					for i := lo; i <= hi; i++ {
+						a := b.ScalarLoad(seqA + uint64(4*i))
+						bb := b.ScalarLoad(seqB + uint64(4*(d-i)))
+						s := int32(-1)
+						if a == bb {
+							s = match
+						}
+						v := int32(prev2[i-1]) + s
+						if up := int32(prev1[i-1]) - gap; up > v {
+							v = up
+						}
+						if left := int32(prev1[i]) - gap; left > v {
+							v = left
+						}
+						if v < 0 {
+							v = 0
+						}
+						if v > best {
+							best = v
+						}
+						cur[i] = uint32(v)
+						b.ScalarOps(9)
+					}
+					prev2, prev1 = prev1, cur
+					b.ScalarOps(4)
+				}
+				b.ScalarStore(out, uint32(best))
+			}
+			return func() error {
+				if got := int32(b.Mem.LoadU32(out)); got != wantMax {
+					return fmt.Errorf("sw: best score = %d, want %d", got, wantMax)
+				}
+				return nil
+			}
+		},
+	}
+}

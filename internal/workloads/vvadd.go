@@ -1,0 +1,50 @@
+package workloads
+
+import "repro/internal/isa"
+
+// NewVVAdd builds the element-wise vector addition kernel: c[i] = a[i]+b[i].
+// It is the canonical memory-bound streaming kernel (paper: "vvadd is
+// inherently memory bound"), with two input streams and one output stream
+// and almost no arithmetic per byte.
+func NewVVAdd(n int) *Kernel {
+	return &Kernel{
+		Name:  "vvadd",
+		Suite: "k",
+		Input: itoa(n),
+		Run: func(b *isa.Builder, vector bool) CheckFunc {
+			f := b.Mem
+			aAddr, bAddr, cAddr := f.AllocU32(n), f.AllocU32(n), f.AllocU32(n)
+			want := make([]uint32, n)
+			rng := lcg(0xA5)
+			for i := 0; i < n; i++ {
+				x, y := rng.next(), rng.next()
+				f.StoreU32(aAddr+uint64(4*i), x)
+				f.StoreU32(bAddr+uint64(4*i), y)
+				want[i] = x + y
+			}
+
+			if vector {
+				for i := 0; i < n; {
+					vl := b.SetVL(n - i)
+					off := uint64(4 * i)
+					b.Load(1, aAddr+off)
+					b.Load(2, bAddr+off)
+					b.Add(3, 1, 2)
+					b.Store(3, cAddr+off)
+					b.ScalarOps(6) // pointer bumps, trip count, branch
+					i += vl
+				}
+				b.Fence()
+			} else {
+				for i := 0; i < n; i++ {
+					off := uint64(4 * i)
+					x := b.ScalarLoad(aAddr + off)
+					y := b.ScalarLoad(bAddr + off)
+					b.ScalarOps(3)
+					b.ScalarStore(cAddr+off, x+y)
+				}
+			}
+			return func() error { return checkU32(b, "vvadd", cAddr, want) }
+		},
+	}
+}

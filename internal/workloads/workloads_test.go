@@ -1,0 +1,127 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// TestKernelsFunctionalAllVLs runs every kernel's scalar and vectorized
+// implementations at several hardware vector lengths (the IV's 4, DV's 64,
+// EVE's long VLs) and validates the outputs against the Go references —
+// proving strip-mining is VL-agnostic.
+func TestKernelsFunctionalAllVLs(t *testing.T) {
+	for _, k := range Small() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			// Scalar implementation.
+			b := isa.NewBuilder(mem.NewFlat(64<<20), 4, nil)
+			check := k.Run(b, false)
+			if err := check(); err != nil {
+				t.Fatalf("scalar: %v", err)
+			}
+			if b.Mix().DynamicInstrs() == 0 {
+				t.Fatal("scalar run emitted no instructions")
+			}
+			// Vector implementations at representative HWVLs.
+			for _, hwvl := range []int{4, 64, 512, 2048} {
+				b := isa.NewBuilder(mem.NewFlat(64<<20), hwvl, nil)
+				check := k.Run(b, true)
+				if err := check(); err != nil {
+					t.Fatalf("vector HWVL=%d: %v", hwvl, err)
+				}
+				m := b.Mix()
+				if m.VectorInstrs == 0 {
+					t.Fatalf("HWVL=%d: no vector instructions emitted", hwvl)
+				}
+				if m.VectorOpPct() < 0.5 {
+					t.Errorf("HWVL=%d: vector op share only %.2f; kernels should be dominated by vector work",
+						hwvl, m.VectorOpPct())
+				}
+			}
+		})
+	}
+}
+
+// TestLongerVLMeansFewerInstructions pins the strip-mining contract: the
+// dynamic vector instruction count shrinks as HWVL grows.
+func TestLongerVLMeansFewerInstructions(t *testing.T) {
+	for _, k := range Small() {
+		run := func(hwvl int) uint64 {
+			b := isa.NewBuilder(mem.NewFlat(64<<20), hwvl, nil)
+			k.Run(b, true)
+			return b.Mix().VectorInstrs
+		}
+		short, long := run(4), run(1024)
+		if long >= short {
+			t.Errorf("%s: VL=1024 used %d vector instrs, VL=4 used %d; expected fewer",
+				k.Name, long, short)
+		}
+	}
+}
+
+// TestMixReflectsKernelCharacter spot-checks Table IV's structural traits.
+func TestMixReflectsKernelCharacter(t *testing.T) {
+	mixOf := func(k *Kernel) isa.Mix {
+		b := isa.NewBuilder(mem.NewFlat(64<<20), 64, nil)
+		k.Run(b, true)
+		return b.Mix()
+	}
+	ks := Small()
+
+	mm, _ := ByName(ks, "mmult")
+	if m := mixOf(mm); m.ByClass[isa.ClassIMul] == 0 {
+		t.Error("mmult must be multiply-heavy")
+	}
+	bp, _ := ByName(ks, "backprop")
+	if m := mixOf(bp); m.ByClass[isa.ClassST] == 0 {
+		t.Error("backprop must issue constant-stride accesses")
+	}
+	km, _ := ByName(ks, "k-means")
+	if m := mixOf(km); m.ByClass[isa.ClassST] == 0 || m.Predicated == 0 {
+		t.Error("k-means must use strided loads and predication")
+	}
+	pf, _ := ByName(ks, "pathfinder")
+	if m := mixOf(pf); m.Predicated == 0 {
+		t.Error("pathfinder must use predication")
+	}
+	jc, _ := ByName(ks, "jacobi-2d")
+	if m := mixOf(jc); m.ByClass[isa.ClassXE] == 0 {
+		t.Error("jacobi-2d must use cross-element reductions (convergence term)")
+	}
+	sw, _ := ByName(ks, "sw")
+	if m := mixOf(sw); m.ByClass[isa.ClassXE] == 0 || m.ByClass[isa.ClassST] == 0 {
+		t.Error("sw must use reductions and reversed strided loads")
+	}
+	vv, _ := ByName(ks, "vvadd")
+	if m := mixOf(vv); m.ByClass[isa.ClassUS] == 0 || m.VectorOpPct() < 0.9 {
+		t.Error("vvadd must be unit-stride and almost fully vectorized")
+	}
+}
+
+func TestByName(t *testing.T) {
+	ks := Small()
+	if _, err := ByName(ks, "vvadd"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName(ks, "nope"); err == nil {
+		t.Fatal("expected error for unknown kernel")
+	}
+}
+
+// TestFPSaxpyFunctional validates the softfloat SAXPY at several hardware
+// vector lengths.
+func TestFPSaxpyFunctional(t *testing.T) {
+	k := NewFPSaxpy(512)
+	for _, hwvl := range []int{4, 64, 1024} {
+		b := isa.NewBuilder(mem.NewFlat(16<<20), hwvl, nil)
+		if err := k.Run(b, true)(); err != nil {
+			t.Fatalf("HWVL=%d: %v", hwvl, err)
+		}
+	}
+	b := isa.NewBuilder(mem.NewFlat(16<<20), 4, nil)
+	if err := k.Run(b, false)(); err != nil {
+		t.Fatalf("scalar: %v", err)
+	}
+}
