@@ -15,6 +15,7 @@ import (
 	"repro/internal/eve"
 	"repro/internal/mem"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/uprog"
 	"repro/internal/vreg"
 	"repro/internal/workloads"
@@ -126,6 +127,27 @@ func BenchmarkFig6(b *testing.B) {
 				reportResult(b, r, io.Cycles)
 			})
 		}
+	}
+}
+
+// BenchmarkSweepWorkers measures the parallel sweep engine end to end on
+// the full reduced-size (kernel, system) matrix at several pool widths.
+// workers-1 is the serial baseline; the wall-clock ratio against it is the
+// sweep speedup EXPERIMENTS.md records (≈ min(workers, cores) on multicore
+// hosts, since every cell is independent CPU-bound work).
+func BenchmarkSweepWorkers(b *testing.B) {
+	kernels := benchKernels()
+	systems := sim.AllSystems()
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sweep.Matrix(systems, kernels, sweep.Options{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(kernels)*len(systems)), "cells/op")
+		})
 	}
 }
 

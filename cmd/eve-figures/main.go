@@ -2,21 +2,29 @@
 // simulator. With no flags it prints everything; -exp selects one of:
 // table1, table2, table3, table4, fig1, fig2, fig4, fig6, fig7, fig8, area.
 //
-//	eve-figures -exp=fig6          # speedup-over-IO sweep (slow: full matrix)
-//	eve-figures -exp=fig2          # taxonomy sweep (fast, no workload runs)
-//	eve-figures -small             # use reduced inputs for a quick pass
+//	eve-figures -exp=fig6             # speedup-over-IO sweep (slow: full matrix)
+//	eve-figures -exp=fig2             # taxonomy sweep (fast, no workload runs)
+//	eve-figures -small                # use reduced inputs for a quick pass
+//	eve-figures -parallel=8 -progress # fan the sweep across 8 workers
+//
+// The (kernel, system) matrix runs on the parallel sweep engine
+// (internal/sweep); results are bit-identical to the serial sweep at any
+// worker count, and the run aborts on the first validation failure.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	ieve "repro/internal/eve"
 	"repro/internal/report"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/workloads"
 )
 
@@ -34,10 +42,27 @@ type jsonResult struct {
 	Breakdown     map[string]int64 `json:"breakdown,omitempty"`
 }
 
-func emitJSON(results [][]sim.Result) {
+// buildJSON flattens the result matrix. The IO baseline column is located
+// by name — result rows make no promise about system ordering — and a row
+// without an IO column is an error rather than a silently wrong speedup.
+func buildJSON(results [][]sim.Result) ([]jsonResult, error) {
+	ioName := sim.Config{Kind: sim.SysIO}.Name()
 	var out []jsonResult
 	for _, kr := range results {
-		io := float64(kr[0].Cycles)
+		io := 0.0
+		for _, r := range kr {
+			if r.System == ioName {
+				io = float64(r.Cycles)
+				break
+			}
+		}
+		if io == 0 {
+			kernel := "(empty row)"
+			if len(kr) > 0 {
+				kernel = kr[0].Kernel
+			}
+			return nil, fmt.Errorf("no %s baseline column in the result row for %s", ioName, kernel)
+		}
 		for _, r := range kr {
 			jr := jsonResult{
 				Kernel:        r.Kernel,
@@ -61,18 +86,25 @@ func emitJSON(results [][]sim.Result) {
 			out = append(out, jr)
 		}
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
-		fmt.Fprintln(os.Stderr, "eve-figures:", err)
-		os.Exit(1)
+	return out, nil
+}
+
+func emitJSON(w io.Writer, results [][]sim.Result) error {
+	out, err := buildJSON(results)
+	if err != nil {
+		return err
 	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to regenerate (table1..4, fig1..8, energy, area, all)")
 	small := flag.Bool("small", false, "use reduced workload sizes")
 	asJSON := flag.Bool("json", false, "emit the raw result matrix as JSON instead of rendered tables")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep worker goroutines (results are identical at any count)")
+	progress := flag.Bool("progress", false, "report per-cell progress and wall time on stderr")
 	flag.Parse()
 
 	static := map[string]func() string{
@@ -103,18 +135,25 @@ func main() {
 		kernels = workloads.Small()
 	}
 	systems := sim.AllSystems()
-	fmt.Fprintf(os.Stderr, "simulating %d kernels x %d systems...\n", len(kernels), len(systems))
-	results := sim.Matrix(systems, kernels)
-	for _, kr := range results {
-		for _, r := range kr {
-			if r.Err != nil {
-				fmt.Fprintf(os.Stderr, "VALIDATION FAILURE: %s on %s: %v\n", r.Kernel, r.System, r.Err)
-				os.Exit(1)
-			}
-		}
+	if *parallel <= 0 {
+		*parallel = runtime.GOMAXPROCS(0)
+	}
+	fmt.Fprintf(os.Stderr, "simulating %d kernels x %d systems on %d workers...\n",
+		len(kernels), len(systems), *parallel)
+	opts := sweep.Options{Workers: *parallel, AbortOnError: true}
+	if *progress {
+		opts.Observer = sweep.NewProgress(os.Stderr)
+	}
+	results, err := sweep.Matrix(systems, kernels, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "VALIDATION FAILURE: %v\n", err)
+		os.Exit(1)
 	}
 	if *asJSON {
-		emitJSON(results)
+		if err := emitJSON(os.Stdout, results); err != nil {
+			fmt.Fprintln(os.Stderr, "eve-figures:", err)
+			os.Exit(1)
+		}
 		return
 	}
 	geo := func(kernel string) bool {

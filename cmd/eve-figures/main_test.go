@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/sweep"
+	"repro/internal/workloads"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files with the current simulator output")
+
+// TestSmallJSONGolden pins the exact JSON matrix of `eve-figures -small
+// -json` under testdata/. Any change to the timing model — cycle counts,
+// instruction mixes, breakdowns, energy — shows up as a diff against the
+// golden file, so regressions are caught by `go test` instead of by
+// eyeballing figures. Refresh intentionally with:
+//
+//	go test ./cmd/eve-figures -run TestSmallJSONGolden -update
+func TestSmallJSONGolden(t *testing.T) {
+	results, err := sweep.Matrix(sim.AllSystems(), workloads.Small(),
+		sweep.Options{Workers: runtime.GOMAXPROCS(0), AbortOnError: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := emitJSON(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.Bytes()
+
+	golden := filepath.Join("testdata", "small.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the golden file)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("JSON result matrix diverges from %s.\n"+
+			"If the timing-model change is intentional, refresh with -update.\n"+
+			"got %d bytes, want %d bytes; first divergence at byte %d",
+			golden, len(got), len(want), firstDiff(got, want))
+	}
+}
+
+func firstDiff(a, b []byte) int {
+	n := min(len(a), len(b))
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// TestBuildJSONRequiresIOColumn locks in the emitJSON fix: the IO baseline
+// is looked up by name, and a matrix without an IO column is an error
+// instead of a silently wrong speedup against whatever sits at index 0.
+func TestBuildJSONRequiresIOColumn(t *testing.T) {
+	k := workloads.NewVVAdd(256)
+	withIO, err := sweep.Matrix(
+		[]sim.Config{{Kind: sim.SysO3}, {Kind: sim.SysIO}}, // IO deliberately not first
+		[]*workloads.Kernel{k}, sweep.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := buildJSON(withIO)
+	if err != nil {
+		t.Fatalf("buildJSON with an IO column: %v", err)
+	}
+	ioCycles := float64(withIO[0][1].Cycles)
+	for _, r := range rows {
+		want := ioCycles / float64(r.Cycles)
+		if r.SpeedupVsIO != want {
+			t.Errorf("%s speedup_vs_io = %v, want %v (IO looked up by name)", r.System, r.SpeedupVsIO, want)
+		}
+	}
+
+	withoutIO := sim.Matrix([]sim.Config{{Kind: sim.SysO3}, {Kind: sim.SysO3IV}}, []*workloads.Kernel{k})
+	if _, err := buildJSON(withoutIO); err == nil {
+		t.Error("buildJSON without an IO column returned nil error")
+	}
+}

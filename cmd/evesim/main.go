@@ -31,10 +31,23 @@ func main() {
 		fatal(err)
 	}
 
-	res, err := eve.Simulate(sys, b)
+	// Simulate the target and the baseline as one parallel sweep: the two
+	// cells are independent, so on a multicore host the comparison costs
+	// one simulation's wall time instead of two.
+	systems := []eve.System{sys}
+	compare := *baseline != "" && !strings.EqualFold(*baseline, *sysName)
+	if compare {
+		bSys, err := parseSystem(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		systems = append(systems, bSys)
+	}
+	matrix, err := eve.SimulateMatrix(systems, []eve.Benchmark{b}, len(systems))
 	if err != nil {
 		fatal(err)
 	}
+	res := matrix[0][0]
 	fmt.Printf("kernel        %s (%s)\n", b.Name(), b.Input())
 	fmt.Printf("system        %s (area %.2fx of O3)\n", res.System, sys.AreaFactor())
 	fmt.Printf("cycles        %d\n", res.Cycles)
@@ -62,15 +75,8 @@ func main() {
 			fmt.Printf("  %-14s %12d  (%.1f%%)\n", r.k, r.v, 100*float64(r.v)/float64(total))
 		}
 	}
-	if *baseline != "" && *baseline != *sysName {
-		bSys, err := parseSystem(*baseline)
-		if err != nil {
-			fatal(err)
-		}
-		bRes, err := eve.Simulate(bSys, b)
-		if err != nil {
-			fatal(err)
-		}
+	if compare {
+		bRes := matrix[0][1]
 		fmt.Printf("speedup       %.2fx over %s (%d cycles)\n",
 			res.Speedup(bRes), bRes.System, bRes.Cycles)
 	}

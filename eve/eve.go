@@ -23,6 +23,7 @@ import (
 	ieve "repro/internal/eve"
 	"repro/internal/mem"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/workloads"
 )
 
@@ -157,6 +158,35 @@ func fromSimResult(r sim.Result) Result {
 		}
 	}
 	return out
+}
+
+// SimulateMatrix runs every benchmark on every system concurrently on a
+// bounded pool of workers goroutines (≤ 0 selects GOMAXPROCS) and returns
+// results indexed [benchmark][system]. Each cell is an independent
+// simulation, so the matrix is deterministic: it equals cell-for-cell what
+// serial Simulate calls would produce, at any worker count. The first
+// validation failure aborts the sweep and is returned as the error.
+func SimulateMatrix(systems []System, benches []Benchmark, workers int) ([][]Result, error) {
+	cfgs := make([]sim.Config, len(systems))
+	for i, s := range systems {
+		cfgs[i] = s.config()
+	}
+	ks := make([]*workloads.Kernel, len(benches))
+	for i, b := range benches {
+		ks[i] = b.k
+	}
+	raw, err := sweep.Matrix(cfgs, ks, sweep.Options{Workers: workers, AbortOnError: true})
+	if err != nil {
+		return nil, fmt.Errorf("eve: %w", err)
+	}
+	out := make([][]Result, len(raw))
+	for i, row := range raw {
+		out[i] = make([]Result, len(row))
+		for j, r := range row {
+			out[i][j] = fromSimResult(r)
+		}
+	}
+	return out, nil
 }
 
 // Speedup reports how much faster r is than base.

@@ -1,0 +1,43 @@
+package eve_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/eve"
+)
+
+// TestSimulateMatrixMatchesSimulate: the concurrent public-API sweep must
+// return exactly what serial Simulate calls return, cell for cell.
+func TestSimulateMatrixMatchesSimulate(t *testing.T) {
+	systems := []eve.System{eve.IO, eve.EVE(8)}
+	vvadd, err := eve.BenchmarkByName("vvadd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := eve.BenchmarkByName("sw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	benches := []eve.Benchmark{vvadd, sw}
+
+	matrix, err := eve.SimulateMatrix(systems, benches, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matrix) != len(benches) || len(matrix[0]) != len(systems) {
+		t.Fatalf("matrix shape = %dx%d, want %dx%d", len(matrix), len(matrix[0]), len(benches), len(systems))
+	}
+	for bi, b := range benches {
+		for si, s := range systems {
+			want, err := eve.Simulate(s, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(matrix[bi][si], want) {
+				t.Errorf("cell (%s, %s) diverges from serial Simulate:\n got  %+v\n want %+v",
+					b.Name(), s.Name(), matrix[bi][si], want)
+			}
+		}
+	}
+}

@@ -124,6 +124,9 @@ func Assemble(s string) (*Instr, error) {
 		}
 		return in, nil
 	case suffix == "v" && op == OpVId:
+		if len(operands) != 1 {
+			return nil, fmt.Errorf("isa: vid.v needs 1 register operand")
+		}
 		var err error
 		if in.Vd, err = vreg(operands[0]); err != nil {
 			return nil, err

@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// TestConcurrentRunsArePure enforces Run's purity contract directly: many
+// goroutines simulating the same (system, kernel) cell at once must all
+// produce the serial answer, with no cross-talk through package-level
+// state. Under -race this audits the full stack — core model, caches,
+// EVE engine and its micro-program cost cache, workload input generators —
+// for hidden shared mutable state.
+func TestConcurrentRunsArePure(t *testing.T) {
+	kernels := []*workloads.Kernel{
+		workloads.NewVVAdd(512),
+		workloads.NewKMeans(128, 8, 3),
+	}
+	configs := []Config{
+		{Kind: SysIO},
+		{Kind: SysO3IV},
+		{Kind: SysO3DV},
+		{Kind: SysO3EVE, N: 8},
+	}
+	const replicas = 4
+	for _, k := range kernels {
+		for _, cfg := range configs {
+			want := Run(cfg, k)
+			if want.Err != nil {
+				t.Fatalf("%s on %s: %v", k.Name, cfg.Name(), want.Err)
+			}
+			got := make([]Result, replicas)
+			var wg sync.WaitGroup
+			for i := 0; i < replicas; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					got[i] = Run(cfg, k)
+				}(i)
+			}
+			wg.Wait()
+			for i, r := range got {
+				if !reflect.DeepEqual(r, want) {
+					t.Errorf("%s on %s: concurrent replica %d diverges:\n got  %+v\n want %+v",
+						k.Name, cfg.Name(), i, r, want)
+				}
+			}
+		}
+	}
+}

@@ -106,6 +106,15 @@ func (s *sink) Emit(ev isa.Event) {
 }
 
 // Run simulates one kernel on one system.
+//
+// Purity contract: Run builds every piece of simulator state it touches —
+// memory hierarchy, flat backing store, core model, vector engine and its
+// micro-program cost cache, workload inputs — per call, reads only
+// immutable package-level tables (Table III configs, encoding maps), and
+// is fully deterministic in (cfg, k). Concurrent Run calls are therefore
+// independent and race-free; internal/sweep relies on this to parallelize
+// the grid, and TestConcurrentRunsArePure plus the determinism test in
+// internal/sweep enforce it under the race detector.
 func Run(cfg Config, k *workloads.Kernel) Result {
 	h := mem.NewHierarchy()
 	flat := mem.NewFlat(64 << 20)
@@ -198,7 +207,9 @@ func RunEVE(ecfg eve.Config, h *mem.Hierarchy, k *workloads.Kernel) Result {
 }
 
 // Matrix runs every kernel on every system, returning results indexed
-// [kernel][system].
+// [kernel][system]. It is the serial reference implementation of the
+// sweep: internal/sweep.Matrix produces an identical matrix on a worker
+// pool, and the determinism regression test compares the two cell by cell.
 func Matrix(systems []Config, kernels []*workloads.Kernel) [][]Result {
 	out := make([][]Result, len(kernels))
 	for i, k := range kernels {

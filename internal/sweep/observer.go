@@ -1,0 +1,47 @@
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Progress is an Observer printing one line per completed cell — aggregate
+// progress, the cell's cycle count (or failure) and its wall time — plus a
+// sweep summary when the last cell lands. It serializes writes internally,
+// so a single Progress may observe any number of workers.
+type Progress struct {
+	mu    sync.Mutex
+	w     io.Writer
+	start time.Time
+	busy  time.Duration // summed per-cell wall time (CPU-side work)
+}
+
+// NewProgress returns a Progress writing to w.
+func NewProgress(w io.Writer) *Progress {
+	return &Progress{w: w, start: time.Now()}
+}
+
+// CellStart implements Observer.
+func (p *Progress) CellStart(kernel, system string) {}
+
+// CellDone implements Observer.
+func (p *Progress) CellDone(done, total int, r sim.Result, wall time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.busy += wall
+	status := fmt.Sprintf("%d cycles", r.Cycles)
+	if r.Err != nil {
+		status = "FAILED: " + r.Err.Error()
+	}
+	fmt.Fprintf(p.w, "[%d/%d] %-11s %-10s %s (%.2fs)\n",
+		done, total, r.Kernel, r.System, status, wall.Seconds())
+	if done == total {
+		elapsed := time.Since(p.start)
+		fmt.Fprintf(p.w, "sweep: %d cells in %.2fs wall (%.2fs of simulation, %.1fx overlap)\n",
+			total, elapsed.Seconds(), p.busy.Seconds(), p.busy.Seconds()/elapsed.Seconds())
+	}
+}

@@ -1,0 +1,163 @@
+// Package sweep runs the (kernel, system) simulation grid of Fig 6 /
+// Table IV concurrently on a bounded pool of worker goroutines.
+//
+// Every cell of the grid is one independent simulation: sim.Run builds all
+// of its state — memory hierarchy, core model, vector engine, workload
+// inputs — per call and shares nothing mutable across calls (the purity
+// contract documented on sim.Run). The grid is therefore embarrassingly
+// parallel, and Matrix exploits that while keeping the output *identical*
+// to the serial sim.Matrix: each worker writes its sim.Result into the
+// cell's pre-assigned [kernel][system] slot, so neither the worker count
+// nor the completion order can influence the assembled matrix. The
+// determinism regression test in sweep_test.go holds this invariant, under
+// the race detector, across several worker counts.
+//
+// Beyond the pool itself, Matrix adds the sweep plumbing the serial loop
+// lacked: a pluggable Observer reporting per-cell wall time and aggregate
+// progress, early abort on the first validation failure, and per-cell
+// panic recovery that converts a crashed simulation into that cell's
+// Result.Err instead of killing the whole sweep.
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// ErrSkipped marks a cell that was never simulated because the sweep
+// aborted on an earlier validation failure (Options.AbortOnError).
+var ErrSkipped = errors.New("sweep: cell skipped after early abort")
+
+// Observer receives sweep progress events. CellDone is invoked from worker
+// goroutines, possibly concurrently; implementations must be safe for
+// concurrent use.
+type Observer interface {
+	// CellStart fires when a worker picks up the (kernel, system) cell.
+	CellStart(kernel, system string)
+	// CellDone fires when the cell's simulation returns (or its panic is
+	// recovered). done counts completed cells so far — monotonic across
+	// the sweep, ending at total when no abort occurs — and wall is the
+	// cell's host wall-clock time.
+	CellDone(done, total int, r sim.Result, wall time.Duration)
+}
+
+// Options configure a sweep.
+type Options struct {
+	// Workers bounds the pool; ≤0 selects runtime.GOMAXPROCS(0).
+	Workers int
+	// Observer receives progress events; nil disables reporting.
+	Observer Observer
+	// AbortOnError stops handing out new cells after the first cell whose
+	// Result.Err is non-nil (validation failure or recovered panic). Cells
+	// already running finish; cells never started carry ErrSkipped. Which
+	// cells are skipped depends on scheduling — determinism holds only for
+	// sweeps that run to completion.
+	AbortOnError bool
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Matrix simulates every kernel on every system and returns results indexed
+// [kernel][system], exactly like the serial sim.Matrix. The returned error
+// is the first cell error in row-major grid order (nil if every cell
+// validated); the full matrix is returned alongside it so callers can
+// report every failure, not just the first.
+func Matrix(systems []sim.Config, kernels []*workloads.Kernel, opts Options) ([][]sim.Result, error) {
+	out := make([][]sim.Result, len(kernels))
+	for i := range out {
+		out[i] = make([]sim.Result, len(systems))
+	}
+	total := len(kernels) * len(systems)
+	if total == 0 {
+		return out, nil
+	}
+
+	type cell struct{ ki, si int }
+	jobs := make(chan cell)
+	var (
+		wg      sync.WaitGroup
+		done    atomic.Int64
+		aborted atomic.Bool
+	)
+	workers := min(opts.workers(), total)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for c := range jobs {
+				k, s := kernels[c.ki], systems[c.si]
+				if opts.AbortOnError && aborted.Load() {
+					out[c.ki][c.si] = sim.Result{System: s.Name(), Kernel: k.Name, Err: ErrSkipped}
+					continue
+				}
+				if opts.Observer != nil {
+					opts.Observer.CellStart(k.Name, s.Name())
+				}
+				start := time.Now()
+				r := runCell(s, k)
+				out[c.ki][c.si] = r
+				if r.Err != nil {
+					aborted.Store(true)
+				}
+				if opts.Observer != nil {
+					opts.Observer.CellDone(int(done.Add(1)), total, r, time.Since(start))
+				}
+			}
+		}()
+	}
+	for ki := range kernels {
+		for si := range systems {
+			jobs <- cell{ki, si}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Report the first *root* failure in row-major order; a skipped cell is
+	// only a symptom of an abort and never the headline error.
+	var skipErr error
+	for ki := range kernels {
+		for si := range systems {
+			err := out[ki][si].Err
+			if err == nil {
+				continue
+			}
+			wrapped := fmt.Errorf("sweep: %s on %s: %w", kernels[ki].Name, systems[si].Name(), err)
+			if !errors.Is(err, ErrSkipped) {
+				return out, wrapped
+			}
+			if skipErr == nil {
+				skipErr = wrapped
+			}
+		}
+	}
+	return out, skipErr
+}
+
+// runCell simulates one cell, converting a panicking simulation into a
+// Result carrying the panic (and its stack) as the cell's error.
+func runCell(s sim.Config, k *workloads.Kernel) (r sim.Result) {
+	defer func() {
+		if p := recover(); p != nil {
+			r = sim.Result{
+				System: s.Name(),
+				Kernel: k.Name,
+				Err:    fmt.Errorf("simulation panicked: %v\n%s", p, debug.Stack()),
+			}
+		}
+	}()
+	return sim.Run(s, k)
+}

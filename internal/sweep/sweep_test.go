@@ -1,0 +1,216 @@
+package sweep
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/isa"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// determinismKernels is a reduced grid that still exercises every engine
+// path — streaming loads/stores, strided k-means traffic, multiplies,
+// predication, reductions — while keeping the serial-vs-parallel
+// comparison fast enough to run under the race detector in CI.
+func determinismKernels() []*workloads.Kernel {
+	return []*workloads.Kernel{
+		workloads.NewVVAdd(1 << 10),
+		workloads.NewMMult(8, 8, 64),
+		workloads.NewKMeans(256, 8, 3),
+		workloads.NewSW(48),
+	}
+}
+
+// TestParallelMatchesSerial is the determinism regression test: the
+// parallel runner must reproduce the serial sim.Matrix exactly — cycles,
+// instruction mixes, breakdowns, cache stats, everything in sim.Result —
+// at every worker count. Run with -race, this doubles as the data-race
+// audit of the whole simulation stack.
+func TestParallelMatchesSerial(t *testing.T) {
+	systems := sim.AllSystems()
+	kernels := determinismKernels()
+	want := sim.Matrix(systems, kernels)
+
+	workerCounts := []int{1, 2, 4, 8}
+	if testing.Short() {
+		workerCounts = []int{4}
+	}
+	for _, workers := range workerCounts {
+		got, err := Matrix(systems, kernels, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d kernel rows, want %d", workers, len(got), len(want))
+		}
+		for ki := range want {
+			for si := range want[ki] {
+				if !reflect.DeepEqual(got[ki][si], want[ki][si]) {
+					t.Errorf("workers=%d: cell (%s, %s) diverges from serial:\n got  %+v\n want %+v",
+						workers, kernels[ki].Name, systems[si].Name(), got[ki][si], want[ki][si])
+				}
+			}
+		}
+	}
+}
+
+// TestRepeatedParallelRunsIdentical re-runs the same parallel sweep and
+// requires identical matrices — scheduling noise must never leak into
+// results.
+func TestRepeatedParallelRunsIdentical(t *testing.T) {
+	systems := []sim.Config{{Kind: sim.SysIO}, {Kind: sim.SysO3EVE, N: 8}}
+	kernels := []*workloads.Kernel{workloads.NewVVAdd(1 << 10), workloads.NewSW(48)}
+	first, err := Matrix(systems, kernels, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Matrix(systems, kernels, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("two identical parallel sweeps disagree:\n first  %+v\n second %+v", first, second)
+	}
+}
+
+// panicKernel crashes midway through its simulation.
+func panicKernel() *workloads.Kernel {
+	return &workloads.Kernel{
+		Name:  "panics",
+		Suite: "test",
+		Input: "n/a",
+		Run: func(b *isa.Builder, vector bool) workloads.CheckFunc {
+			panic("deliberate test crash")
+		},
+	}
+}
+
+// failKernel simulates fine but fails output validation.
+func failKernel() *workloads.Kernel {
+	return &workloads.Kernel{
+		Name:  "fails",
+		Suite: "test",
+		Input: "n/a",
+		Run: func(b *isa.Builder, vector bool) workloads.CheckFunc {
+			b.ScalarOps(1)
+			return func() error { return errors.New("validation mismatch") }
+		},
+	}
+}
+
+// TestPanicBecomesCellError: a crashing cell must not kill the sweep; it
+// lands in that cell's Result.Err with the panic message, and healthy
+// cells still complete.
+func TestPanicBecomesCellError(t *testing.T) {
+	systems := []sim.Config{{Kind: sim.SysIO}}
+	kernels := []*workloads.Kernel{panicKernel(), workloads.NewVVAdd(256)}
+	got, err := Matrix(systems, kernels, Options{Workers: 2})
+	if err == nil {
+		t.Fatal("sweep with a panicking cell returned nil error")
+	}
+	if !strings.Contains(got[0][0].Err.Error(), "deliberate test crash") {
+		t.Errorf("panic cell error = %v, want the panic message", got[0][0].Err)
+	}
+	if got[0][0].System != "IO" || got[0][0].Kernel != "panics" {
+		t.Errorf("panic cell lost its identity: %+v", got[0][0])
+	}
+	if got[1][0].Err != nil {
+		t.Errorf("healthy cell failed after sibling panic: %v", got[1][0].Err)
+	}
+	if got[1][0].Cycles <= 0 {
+		t.Errorf("healthy cell has nonpositive cycles: %+v", got[1][0])
+	}
+}
+
+// TestAbortOnError: with one worker the grid runs in row-major order, so a
+// first-cell failure must skip every later cell with ErrSkipped.
+func TestAbortOnError(t *testing.T) {
+	systems := []sim.Config{{Kind: sim.SysIO}}
+	kernels := []*workloads.Kernel{failKernel(), workloads.NewVVAdd(256), workloads.NewSW(48)}
+	got, err := Matrix(systems, kernels, Options{Workers: 1, AbortOnError: true})
+	if err == nil {
+		t.Fatal("aborting sweep returned nil error")
+	}
+	if got[0][0].Err == nil || !strings.Contains(got[0][0].Err.Error(), "validation mismatch") {
+		t.Errorf("failing cell error = %v", got[0][0].Err)
+	}
+	for ki := 1; ki < len(kernels); ki++ {
+		if !errors.Is(got[ki][0].Err, ErrSkipped) {
+			t.Errorf("cell %d after failure: err = %v, want ErrSkipped", ki, got[ki][0].Err)
+		}
+		if got[ki][0].Kernel != kernels[ki].Name || got[ki][0].System != "IO" {
+			t.Errorf("skipped cell %d lost its identity: %+v", ki, got[ki][0])
+		}
+	}
+	// The reported error is the row-major first failure, not a skip marker.
+	if errors.Is(err, ErrSkipped) {
+		t.Errorf("sweep error should be the root failure, got %v", err)
+	}
+}
+
+// countingObserver tallies events for the observer-plumbing test.
+type countingObserver struct {
+	mu     sync.Mutex
+	starts int
+	dones  int
+	maxDon int
+	total  int
+	wall   time.Duration
+}
+
+func (c *countingObserver) CellStart(kernel, system string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.starts++
+}
+
+func (c *countingObserver) CellDone(done, total int, r sim.Result, wall time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dones++
+	c.total = total
+	if done > c.maxDon {
+		c.maxDon = done
+	}
+	c.wall += wall
+}
+
+// TestObserverSeesEveryCell checks the progress plumbing: one start and one
+// done per cell, the done counter reaching the grid size, and nonzero
+// aggregate wall time.
+func TestObserverSeesEveryCell(t *testing.T) {
+	systems := []sim.Config{{Kind: sim.SysIO}, {Kind: sim.SysO3}}
+	kernels := []*workloads.Kernel{workloads.NewVVAdd(256), workloads.NewSW(32)}
+	obs := &countingObserver{}
+	if _, err := Matrix(systems, kernels, Options{Workers: 3, Observer: obs}); err != nil {
+		t.Fatal(err)
+	}
+	cells := len(systems) * len(kernels)
+	if obs.starts != cells || obs.dones != cells {
+		t.Errorf("observer saw %d starts / %d dones, want %d each", obs.starts, obs.dones, cells)
+	}
+	if obs.maxDon != cells || obs.total != cells {
+		t.Errorf("observer progress peaked at %d/%d, want %d/%d", obs.maxDon, obs.total, cells, cells)
+	}
+	if obs.wall <= 0 {
+		t.Errorf("observer aggregate wall time = %v, want > 0", obs.wall)
+	}
+}
+
+// TestEmptyGrid: a degenerate sweep must return the right shape and no
+// error rather than deadlocking on an empty job stream.
+func TestEmptyGrid(t *testing.T) {
+	got, err := Matrix(nil, nil, Options{Workers: 4})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty sweep = (%v, %v), want ([], nil)", got, err)
+	}
+	got, err = Matrix(sim.AllSystems(), nil, Options{})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("kernel-less sweep = (%v, %v), want ([], nil)", got, err)
+	}
+}

@@ -22,6 +22,12 @@ const maxCycles = 1 << 22
 // start of the cycle (a register read in the same cycle it is written), so
 // a decr riding in the same tuple as a blc does not perturb the blc's
 // addressing — matching Fig 4's listings.
+//
+// A Machine is single-threaded state (counters, flags, energy tallies) and
+// is not safe for concurrent use. There is deliberately no package-level
+// machine or memoized latency table: every EVE engine instance owns its
+// own Machine and cost cache, which is what keeps concurrent simulations
+// (internal/sweep) race-free.
 type Machine struct {
 	Layout Layout
 	Stack  *circuits.Stack

@@ -25,6 +25,13 @@ type CheckFunc func() error
 // Kernel is one benchmark: Run executes either the scalar or the vectorized
 // implementation against the builder (allocating and initializing its own
 // inputs in the builder's memory) and returns an output checker.
+//
+// Run implementations must be reentrant: one *Kernel is shared by every
+// system column of a sweep, and the parallel runner (internal/sweep)
+// invokes Run for different systems concurrently. All mutable state — the
+// input RNG, reference outputs, allocation cursors — therefore lives in
+// the per-call builder or in locals of the Run invocation, never in the
+// closure or in package-level variables.
 type Kernel struct {
 	Name  string
 	Suite string // k = kernel, ro = rodinia, rv = RiVEC, g = genomics
