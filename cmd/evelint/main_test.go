@@ -1,0 +1,110 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildEvelint compiles the vettool binary into a temp dir once per test
+// process and returns its path.
+func buildEvelint(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "evelint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building evelint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// writeModule lays out a throwaway module named "repro" (the analyzer
+// scopes key off that module path) with the given files.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module repro\n\ngo 1.22\n"
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// goVet runs `go vet -vettool=<bin> ./...` in dir.
+func goVet(t *testing.T, bin, dir string) (string, error) {
+	t.Helper()
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func TestVettoolHandshake(t *testing.T) {
+	bin := buildEvelint(t)
+	out, err := exec.Command(bin, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("-V=full: %v", err)
+	}
+	f := strings.Fields(string(out))
+	// cmd/go requires >= 3 fields with f[1] == "version" (b.toolID in
+	// GOROOT/src/cmd/go/internal/work/buildid.go).
+	if len(f) < 3 || f[1] != "version" {
+		t.Fatalf("-V=full output %q does not satisfy the toolID handshake", out)
+	}
+}
+
+func TestGoVetFailsOnImpureSimPackage(t *testing.T) {
+	bin := buildEvelint(t)
+	dir := writeModule(t, map[string]string{
+		"internal/sim/sim.go": `package sim
+
+import "time"
+
+// Tick leaks wall-clock time into a simulation package.
+func Tick() int64 { return time.Now().UnixNano() }
+`,
+	})
+	out, err := goVet(t, bin, dir)
+	if err == nil {
+		t.Fatalf("go vet succeeded on an impure sim package; output:\n%s", out)
+	}
+	if !strings.Contains(out, "wall-clock read") || !strings.Contains(out, "simpurity") {
+		t.Fatalf("missing simpurity diagnostic in go vet output:\n%s", out)
+	}
+}
+
+func TestGoVetPassesOnCleanAndAllowedPackages(t *testing.T) {
+	bin := buildEvelint(t)
+	dir := writeModule(t, map[string]string{
+		// Clean sim package: deterministic, config-driven.
+		"internal/sim/sim.go": `package sim
+
+// Step advances a counter; no host state involved.
+func Step(n int64) int64 { return n + 1 }
+`,
+		// Intentional wall-clock use behind the escape hatch.
+		"internal/sweep/observe.go": `package sweep
+
+import "time"
+
+// Stamp is progress telemetry, outside the determinism contract.
+func Stamp() int64 {
+	//evelint:allow simpurity -- progress telemetry, not a simulated result
+	return time.Now().UnixNano()
+}
+`,
+	})
+	out, err := goVet(t, bin, dir)
+	if err != nil {
+		t.Fatalf("go vet failed on a clean module: %v\n%s", err, out)
+	}
+}

@@ -67,7 +67,14 @@ func main() {
 			rows = append(rows, kv{k, v})
 			total += v
 		}
-		sort.Slice(rows, func(i, j int) bool { return rows[i].v > rows[j].v })
+		// Tie-break equal counts by category name: sort.Slice is unstable,
+		// so ties would otherwise fall back to randomized map order.
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].v != rows[j].v {
+				return rows[i].v > rows[j].v
+			}
+			return rows[i].k < rows[j].k
+		})
 		for _, r := range rows {
 			if r.v == 0 {
 				continue

@@ -65,14 +65,8 @@ func Assemble(s string) (*Instr, error) {
 		return nil, fmt.Errorf("isa: mnemonic %q has no operand-kind suffix", mnemonic)
 	}
 	base, suffix := mnemonic[:dot], mnemonic[dot+1:]
-	var op Op = OpNop
-	for candidate, name := range opNames {
-		if name == base {
-			op = candidate
-			break
-		}
-	}
-	if op == OpNop {
+	op, ok := mnemonicOps[base]
+	if !ok || op == OpNop {
 		return nil, fmt.Errorf("isa: unknown mnemonic %q", base)
 	}
 

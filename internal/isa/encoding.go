@@ -105,6 +105,35 @@ var memEncodings = map[Op]memEnc{
 	OpStoreIdx:    {3, true},
 }
 
+// Reverse decode indexes, built once at init: keyed lookups instead of
+// first-match scans over the encoding maps, whose iteration order Go
+// randomizes per run.
+var (
+	arithDecode = make(map[arithEnc]Op, len(arithEncodings))
+	memDecode   = make(map[memEnc]Op, len(memEncodings))
+)
+
+func init() {
+	for op, ae := range arithEncodings {
+		if prev, dup := arithDecode[ae]; dup {
+			// The VWXUNARY0/VRXUNARY0 slot {0x10, opm} is legitimately shared
+			// by OpMvXS and OpMvSX; Decode disambiguates by operand category,
+			// so the stored op is irrelevant there — keep the smaller one so
+			// the index itself is still deterministic.
+			if prev < op {
+				op = prev
+			}
+		}
+		arithDecode[ae] = op
+	}
+	for op, me := range memEncodings {
+		if prev, dup := memDecode[me]; dup {
+			panic(fmt.Sprintf("isa: mem encoding %+v maps to both %d and %d", me, prev, op))
+		}
+		memDecode[me] = op
+	}
+}
+
 // Encode renders the static part of a dynamic instruction as a 32-bit
 // RISC-V instruction word. Runtime-only payload (scalar values, resolved
 // addresses, the active VL) is not representable in the encoding and is
@@ -185,19 +214,18 @@ func Decode(word uint32) (*Instr, error) {
 	case opcodeLoadFP, opcodeStoreFP:
 		mop := word >> 26 & 3
 		store := opc == opcodeStoreFP
-		for op, me := range memEncodings {
-			if me.mop == mop && me.store == store {
-				in := &Instr{Op: op, Masked: vm == 0}
-				if store {
-					in.Vs1 = vd
-				} else {
-					in.Vd = vd
-				}
-				in.Vs2 = vs2
-				return in, nil
-			}
+		op, ok := memDecode[memEnc{mop: mop, store: store}]
+		if !ok {
+			return nil, fmt.Errorf("isa: unknown vector memory mop %d", mop)
 		}
-		return nil, fmt.Errorf("isa: unknown vector memory mop %d", mop)
+		in := &Instr{Op: op, Masked: vm == 0}
+		if store {
+			in.Vs1 = vd
+		} else {
+			in.Vd = vd
+		}
+		in.Vs2 = vs2
+		return in, nil
 	case 0x0B:
 		if word>>12&7 == 1 {
 			return &Instr{Op: OpFence}, nil
@@ -215,32 +243,31 @@ func Decode(word uint32) (*Instr, error) {
 	opm := f3 == f3OPMVV || f3 == f3OPMVX
 	vx := f3 == f3OPIVX || f3 == f3OPMVX
 	funct6 := word >> 26 & 0x3F
-	for op, ae := range arithEncodings {
-		if ae.funct6 != funct6 || ae.opm != opm {
-			continue
-		}
-		// Disambiguate the shared VWXUNARY0/VRXUNARY0 slot by category.
-		if funct6 == 0x10 && opm {
-			if vx {
-				op = OpMvSX
-			} else {
-				op = OpMvXS
-			}
-		}
-		if funct6 == 0x14 && opm && vs1 != 17 {
-			continue
-		}
-		kind := KindVV
-		if vx {
-			kind = KindVX
-		}
-		in := &Instr{Op: op, Kind: kind, Vd: vd, Vs1: vs1, Vs2: vs2, Masked: vm == 0}
-		if op == OpVId {
-			in.Vs1 = 0
-		}
-		return in, nil
+	op, ok := arithDecode[arithEnc{funct6: funct6, opm: opm}]
+	if !ok {
+		return nil, fmt.Errorf("isa: unknown funct6 %#x (opm=%v)", funct6, opm)
 	}
-	return nil, fmt.Errorf("isa: unknown funct6 %#x (opm=%v)", funct6, opm)
+	// Disambiguate the shared VWXUNARY0/VRXUNARY0 slot by category.
+	if funct6 == 0x10 && opm {
+		if vx {
+			op = OpMvSX
+		} else {
+			op = OpMvXS
+		}
+	}
+	if funct6 == 0x14 && opm && vs1 != 17 {
+		// Only vid.v (vs1 = VMUNARY0 selector 17) lives on this slot.
+		return nil, fmt.Errorf("isa: unknown funct6 %#x (opm=%v)", funct6, opm)
+	}
+	kind := KindVV
+	if vx {
+		kind = KindVX
+	}
+	in := &Instr{Op: op, Kind: kind, Vd: vd, Vs1: vs1, Vs2: vs2, Masked: vm == 0}
+	if op == OpVId {
+		in.Vs1 = 0
+	}
+	return in, nil
 }
 
 // Disassemble renders a static instruction in assembler-like syntax.

@@ -2,11 +2,13 @@ package isa
 
 import (
 	"math/rand"
+	"sort"
 	"strings"
 	"testing"
 )
 
-// encodableOps is every operation Encode supports.
+// encodableOps is every operation Encode supports, in numeric order so the
+// round-trip trials below draw the same register sequence every run.
 func encodableOps() []Op {
 	ops := []Op{OpSetVL, OpFence}
 	for op := range arithEncodings {
@@ -15,6 +17,7 @@ func encodableOps() []Op {
 	for op := range memEncodings {
 		ops = append(ops, op)
 	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i] < ops[j] })
 	return ops
 }
 

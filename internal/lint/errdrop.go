@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrdropPackages scope the check to the codebase's own code.
+var ErrdropPackages = []string{"repro/internal", "repro/cmd"}
+
+// Errdrop flags calls whose error result is silently discarded: a call used
+// as a statement (including `go` and `defer`) where the callee returns an
+// error. In a simulator, a swallowed error usually means a wrong number
+// gets published instead of a loud failure.
+//
+// Not flagged, by design:
+//
+//   - explicit discards (`_ = f()`, `n, _ := f()`): visible in review;
+//   - fmt printing to os.Stdout/os.Stderr and writes into strings.Builder
+//     or bytes.Buffer, which cannot fail meaningfully;
+//   - anything under //evelint:allow errdrop with a reason.
+var Errdrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "forbid silently discarded error returns in internal/ and cmd/",
+	Run:  runErrdrop,
+}
+
+func runErrdrop(pass *Pass) error {
+	if !anyPkgMatches(pass.Pkg.Path(), ErrdropPackages) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if inTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch x := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = x.X.(*ast.CallExpr)
+			case *ast.GoStmt:
+				call = x.Call
+			case *ast.DeferStmt:
+				call = x.Call
+			}
+			if call == nil {
+				return true
+			}
+			if !callReturnsError(pass.TypesInfo, call) || errdropExempt(pass.TypesInfo, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "error result of %s is silently discarded; handle it, "+
+				"assign it to _, or annotate //evelint:allow errdrop with a reason",
+				calleeName(pass.TypesInfo, call))
+			return true
+		})
+	}
+	return nil
+}
+
+// callReturnsError reports whether any result of the call is an error.
+func callReturnsError(info *types.Info, call *ast.CallExpr) bool {
+	t := info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	switch r := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < r.Len(); i++ {
+			if isErrorType(r.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+// errdropExempt reports whether the callee is in the cannot-meaningfully-
+// fail set: console printing and in-memory sinks.
+func errdropExempt(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	// Methods on in-memory sinks never return a useful error.
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return isMemorySink(sig.Recv().Type())
+	}
+	if fn.Pkg().Path() != "fmt" {
+		return false
+	}
+	name := fn.Name()
+	if hasPrefix(name, "Print") {
+		return true // stdout
+	}
+	if hasPrefix(name, "Fprint") && len(call.Args) > 0 {
+		// Writes to the console or an in-memory sink.
+		if isMemorySink(info.TypeOf(call.Args[0])) {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Args[0]).(*ast.SelectorExpr); ok {
+			if obj, ok := objOf(info, sel.Sel).(*types.Var); ok && obj.Pkg() != nil &&
+				obj.Pkg().Path() == "os" && (obj.Name() == "Stdout" || obj.Name() == "Stderr") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isMemorySink reports whether t is *strings.Builder or *bytes.Buffer.
+func isMemorySink(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	path, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	return (path == "strings" && name == "Builder") || (path == "bytes" && name == "Buffer")
+}
+
+// calleeName renders the callee for diagnostics.
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	if fn := calleeFunc(info, call); fn != nil {
+		if fn.Pkg() != nil {
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return types.TypeString(sig.Recv().Type(), types.RelativeTo(fn.Pkg())) + "." + fn.Name()
+			}
+			return fn.Pkg().Name() + "." + fn.Name()
+		}
+		return fn.Name()
+	}
+	return "call"
+}

@@ -1,0 +1,327 @@
+// Package lint is a small static-analysis framework plus the evelint
+// analyzer suite that enforces the simulator's determinism, purity and
+// parameter-provenance contracts at compile time:
+//
+//   - simpurity: no wall-clock reads, unseeded randomness, environment
+//     probes, or writes to package-level mutable state in the simulation
+//     packages (internal/sim, internal/cpu, internal/mem, internal/vengine,
+//     internal/uprog, internal/sweep). These are the invariants behind the
+//     sim.Run purity contract that internal/sweep parallelizes over.
+//   - maporder: no map-iteration order leaking into results — appends
+//     without a subsequent sort, direct output, floating-point
+//     accumulation, or first-match selection inside `range` over a map.
+//   - paramlit: hardware timing/geometry integer literals in the
+//     internal/cpu and internal/mem hot paths must flow from config/params
+//     structs or named constants (Table III provenance), not appear inline.
+//   - errdrop: no silently discarded error returns in internal/ and cmd/.
+//
+// The API deliberately mirrors golang.org/x/tools/go/analysis (Analyzer,
+// Pass, Diagnostic) so the suite could be rebased onto the upstream
+// framework without touching the analyzers; it is implemented on the
+// standard library alone because this module has no dependencies.
+//
+// # Escape hatch
+//
+// A finding that is intentional — e.g. the sweep progress observer's
+// wall-clock timing, which is explicitly outside the determinism contract —
+// is suppressed with a comment on the flagged line or the line above:
+//
+//	//evelint:allow simpurity -- reason the contract does not apply here
+//
+// The analyzer list is comma- or space-separated; an empty list allows all
+// analyzers. Everything after "--" is a free-form justification (strongly
+// encouraged, never parsed).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check. The shape matches
+// golang.org/x/tools/go/analysis.Analyzer so the suite can migrate to the
+// upstream framework wholesale if this module ever takes the dependency.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// A Pass provides one analyzer run over one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers a diagnostic. Drivers set it; analyzers should prefer
+	// Reportf, which applies the //evelint:allow escape hatch.
+	Report func(Diagnostic)
+
+	// allow maps file -> set of lines suppressed per analyzer name
+	// ("" = all analyzers), built lazily from the file's comments.
+	allow map[*ast.File]map[int][]string
+}
+
+// A Diagnostic is one finding at a position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Analyzers is the evelint suite in reporting order.
+var Analyzers = []*Analyzer{Simpurity, Maporder, Paramlit, Errdrop}
+
+// Reportf reports a diagnostic unless an //evelint:allow comment on the
+// same line (or the line above, for a full-line comment) suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	if p.allowedAt(pos) {
+		return
+	}
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+const allowPrefix = "evelint:allow"
+
+// allowedAt reports whether an //evelint:allow comment covers pos for the
+// pass's analyzer.
+func (p *Pass) allowedAt(pos token.Pos) bool {
+	f := p.fileOf(pos)
+	if f == nil {
+		return false
+	}
+	if p.allow == nil {
+		p.allow = make(map[*ast.File]map[int][]string)
+	}
+	lines, ok := p.allow[f]
+	if !ok {
+		lines = p.buildAllow(f)
+		p.allow[f] = lines
+	}
+	for _, name := range lines[p.Fset.Position(pos).Line] {
+		if name == "" || name == p.Analyzer.Name {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Pass) fileOf(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// buildAllow scans a file's comments for //evelint:allow directives. A
+// directive covers its own line (trailing-comment style) and, when the
+// comment occupies the whole line, the first non-comment line below the
+// comment group (comment-above style).
+func (p *Pass) buildAllow(f *ast.File) map[int][]string {
+	out := make(map[int][]string)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, allowPrefix) {
+				continue
+			}
+			names := parseAllowNames(strings.TrimPrefix(text, allowPrefix))
+			// Cover the directive's own line (trailing-comment style) and
+			// the line after the comment group (comment-above style).
+			line := p.Fset.Position(c.Pos()).Line
+			after := p.Fset.Position(cg.End()).Line + 1
+			for _, n := range names {
+				out[line] = append(out[line], n)
+				if after != line {
+					out[after] = append(out[after], n)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// parseAllowNames splits the analyzer list of an allow directive. The list
+// ends at "--"; an empty list means every analyzer.
+func parseAllowNames(s string) []string {
+	if i := strings.Index(s, "--"); i >= 0 {
+		s = s[:i]
+	}
+	fields := strings.FieldsFunc(s, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' })
+	if len(fields) == 0 {
+		return []string{""}
+	}
+	return fields
+}
+
+// inTestFile reports whether pos is inside a _test.go file. The purity and
+// provenance contracts bind the shipped simulator, not its tests (tests
+// measure wall time, poke package state, and use ad-hoc literals freely).
+func inTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// pkgMatches reports whether path is pkg or a package under pkg.
+func pkgMatches(path, pkg string) bool {
+	return path == pkg || strings.HasPrefix(path, pkg+"/")
+}
+
+// anyPkgMatches reports whether path matches any of pkgs.
+func anyPkgMatches(path string, pkgs []string) bool {
+	for _, p := range pkgs {
+		if pkgMatches(path, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// identWords splits an identifier into lower-cased words on camelCase and
+// snake_case boundaries: "MulLatency" -> ["mul", "latency"],
+// "hit_lat" -> ["hit", "lat"].
+func identWords(name string) []string {
+	var words []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			words = append(words, strings.ToLower(cur.String()))
+			cur.Reset()
+		}
+	}
+	runes := []rune(name)
+	for i, r := range runes {
+		switch {
+		case r == '_':
+			flush()
+		case r >= 'A' && r <= 'Z':
+			// Start a new word at a lower->upper boundary or at the last
+			// upper of an acronym run ("MSHRCount" -> mshr, count).
+			if i > 0 && (isLower(runes[i-1]) || (isUpper(runes[i-1]) && i+1 < len(runes) && isLower(runes[i+1]))) {
+				flush()
+			}
+			cur.WriteRune(r)
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return words
+}
+
+func isLower(r rune) bool { return r >= 'a' && r <= 'z' }
+func isUpper(r rune) bool { return r >= 'A' && r <= 'Z' }
+
+// rootIdent unwraps selectors, indexes, stars, parens and slices down to the
+// leftmost identifier: a.b[i].c -> a. Returns nil when the expression does
+// not root in an identifier (e.g. a function call result).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// objOf resolves an identifier to its object via Uses then Defs.
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// calleeFunc resolves a call expression to the package-level function or
+// method it invokes, or nil (builtins, function-typed variables, type
+// conversions).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := objOf(info, id).(*types.Func)
+	return fn
+}
+
+// isErrorType reports whether t is the built-in error interface.
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, errorType)
+}
+
+// RunAll runs every analyzer in the suite over one type-checked package and
+// delivers diagnostics, sorted by position per analyzer, to report.
+func RunAll(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info,
+	report func(a *Analyzer, d Diagnostic)) error {
+	for _, a := range Analyzers {
+		var diags []Diagnostic
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return fmt.Errorf("%s: %v", a.Name, err)
+		}
+		for _, d := range sortedDiagnostics(fset, diags) {
+			report(a, d)
+		}
+	}
+	return nil
+}
+
+// NewTypesInfo returns a types.Info with every map the analyzers consult.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// sortedDiagnostics orders diagnostics by position for stable output.
+func sortedDiagnostics(fset *token.FileSet, diags []Diagnostic) []Diagnostic {
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	return diags
+}

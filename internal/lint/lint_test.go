@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestIdentWords(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"MulLatency", []string{"mul", "latency"}},
+		{"hit_lat", []string{"hit", "lat"}},
+		{"MSHRCount", []string{"mshr", "count"}},
+		{"LinesPer1K", []string{"lines", "per1k"}},
+		{"rob", []string{"rob"}},
+		{"c", []string{"c"}},
+		{"HTTPServerPort", []string{"http", "server", "port"}},
+	}
+	for _, c := range cases {
+		if got := identWords(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("identWords(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseAllowNames(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{" simpurity -- reason", []string{"simpurity"}},
+		{" simpurity,errdrop -- reason", []string{"simpurity", "errdrop"}},
+		{" simpurity errdrop", []string{"simpurity", "errdrop"}},
+		{" -- reason only", []string{""}},
+		{"", []string{""}},
+	}
+	for _, c := range cases {
+		if got := parseAllowNames(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("parseAllowNames(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPkgMatches(t *testing.T) {
+	if !pkgMatches("repro/internal/mem", "repro/internal/mem") {
+		t.Error("exact path should match")
+	}
+	if !pkgMatches("repro/internal/mem/sub", "repro/internal/mem") {
+		t.Error("subpackage should match")
+	}
+	if pkgMatches("repro/internal/memory", "repro/internal/mem") {
+		t.Error("sibling prefix must not match")
+	}
+}
+
+func TestAnalyzerNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range Analyzers {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q incompletely defined", a.Name)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}

@@ -1,0 +1,177 @@
+// Package linttest runs a lint.Analyzer over a testdata package and checks
+// its diagnostics against `// want "regexp"` comments, in the style of
+// golang.org/x/tools/go/analysis/analysistest (which this module cannot
+// depend on).
+//
+// Each testdata directory is one package. Because several analyzers key off
+// the package import path (simpurity and paramlit bind specific simulator
+// packages), Run takes the path to type-check the directory under — the
+// same sources can be checked once as "repro/internal/sim" (restricted) and
+// once as an unrestricted path to pin down both the true-positive and the
+// true-negative behavior.
+//
+// Standard-library imports in testdata are type-checked from GOROOT source
+// (go/importer's "source" compiler), so the helper works offline and
+// without export data.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+var (
+	mu sync.Mutex
+	// One file set and importer per process: the source importer caches
+	// type-checked stdlib packages, so the fmt/time/os cone is paid once.
+	fset = token.NewFileSet()
+	imp  = importer.ForCompiler(fset, "source", nil)
+)
+
+// expectation is one `// want` clause: a line that must produce a
+// diagnostic matching rx.
+type expectation struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	met  bool
+}
+
+// Run type-checks the testdata directory as package pkgpath, applies the
+// analyzer, and reports mismatches between its diagnostics and the
+// `// want "regexp"` comments in the sources.
+func Run(t *testing.T, a *lint.Analyzer, pkgpath, dir string) {
+	t.Helper()
+	mu.Lock()
+	defer mu.Unlock()
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		t.Fatalf("linttest: no .go files in %s", dir)
+	}
+
+	var files []*ast.File
+	var wants []*expectation
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("linttest: parse %s: %v", path, err)
+		}
+		files = append(files, f)
+		ws, err := parseWants(fset, f)
+		if err != nil {
+			t.Fatalf("linttest: %s: %v", path, err)
+		}
+		wants = append(wants, ws...)
+	}
+
+	conf := types.Config{Importer: imp}
+	info := lint.NewTypesInfo()
+	pkg, err := conf.Check(pkgpath, fset, files, info)
+	if err != nil {
+		t.Fatalf("linttest: type-checking %s as %s: %v", dir, pkgpath, err)
+	}
+
+	pass := &lint.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+	}
+	var diags []lint.Diagnostic
+	pass.Report = func(d lint.Diagnostic) { diags = append(diags, d) }
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("linttest: %s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if w := matchWant(wants, pos, d.Message); w == nil {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.rx)
+		}
+	}
+}
+
+// matchWant finds and consumes the first unmet expectation on the
+// diagnostic's line whose regexp matches the message.
+func matchWant(wants []*expectation, pos token.Position, msg string) *expectation {
+	for _, w := range wants {
+		if !w.met && w.file == pos.Filename && w.line == pos.Line && w.rx.MatchString(msg) {
+			w.met = true
+			return w
+		}
+	}
+	return nil
+}
+
+// parseWants extracts `// want "re" "re"...` comments. The expectation
+// binds to the line the comment starts on.
+func parseWants(fset *token.FileSet, f *ast.File) ([]*expectation, error) {
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if !strings.HasPrefix(text, "want ") {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			rest := strings.TrimSpace(strings.TrimPrefix(text, "want"))
+			for rest != "" {
+				q := rest[0]
+				if q != '"' && q != '`' {
+					return nil, fmt.Errorf("line %d: malformed want clause near %q", pos.Line, rest)
+				}
+				end := 1
+				for end < len(rest) && (rest[end] != q || (q == '"' && rest[end-1] == '\\')) {
+					end++
+				}
+				if end >= len(rest) {
+					return nil, fmt.Errorf("line %d: unterminated want pattern", pos.Line)
+				}
+				quoted := rest[:end+1]
+				rest = strings.TrimSpace(rest[end+1:])
+				s, err := strconv.Unquote(quoted)
+				if err != nil {
+					return nil, fmt.Errorf("line %d: %v", pos.Line, err)
+				}
+				rx, err := regexp.Compile(s)
+				if err != nil {
+					return nil, fmt.Errorf("line %d: %v", pos.Line, err)
+				}
+				out = append(out, &expectation{file: pos.Filename, line: pos.Line, rx: rx})
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,221 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Maporder flags `range` over a map whose body lets the iteration order —
+// which Go randomizes per run — reach an observable result:
+//
+//   - appending to a slice that is never subsequently sorted in the same
+//     function (the collect-then-sort idiom is recognized and allowed);
+//   - writing output (fmt printing, Write* methods) from inside the loop;
+//   - accumulating floating-point values, whose rounding is
+//     order-sensitive even when the operation is mathematically
+//     commutative;
+//   - first-match selection: returning from, or breaking out of, the loop
+//     body, which picks whichever matching entry the runtime happened to
+//     yield first.
+//
+// Commutative integer accumulation, map-to-map transforms keyed by unique
+// keys, and existence checks that set only a boolean are order-independent
+// and deliberately not flagged — except that `break` is still reported,
+// because proving the loop breaks only on semantically unique matches is
+// beyond a local analysis; annotate or refactor to a keyed lookup.
+var Maporder = &Analyzer{
+	Name: "maporder",
+	Doc:  "forbid map-iteration order leaking into slices, output, float sums, or first-match results",
+	Run:  runMaporder,
+}
+
+func runMaporder(pass *Pass) error {
+	for _, f := range pass.Files {
+		// Applies to tests too: an order-dependent test is a flaky test.
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkMapRanges(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapRanges finds map ranges directly inside one function body
+// (ignoring nested function literals, which are visited separately).
+func checkMapRanges(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRangeBody(pass, rs, body)
+		return true
+	})
+}
+
+func checkMapRangeBody(pass *Pass, rs *ast.RangeStmt, fnBody *ast.BlockStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, x, rs, fnBody)
+		case *ast.CallExpr:
+			if fn := calleeFunc(pass.TypesInfo, x); fn != nil {
+				if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+					(hasPrefix(fn.Name(), "Print") || hasPrefix(fn.Name(), "Fprint")) {
+					pass.Reportf(x.Pos(), "output written inside range over map: "+
+						"iteration order is randomized; collect into a slice, sort, then print")
+				} else if isWriterMethod(fn) {
+					pass.Reportf(x.Pos(), "%s called inside range over map: "+
+						"iteration order is randomized; collect into a slice, sort, then write", fn.Name())
+				}
+			}
+		case *ast.ReturnStmt:
+			if len(x.Results) > 0 {
+				pass.Reportf(x.Pos(), "return inside range over map selects whichever entry "+
+					"iterates first; iterate a deterministic key order or use a keyed lookup")
+			}
+		case *ast.BranchStmt:
+			// Only a break that terminates the map range itself (not an
+			// inner loop/switch) is a first-match exit.
+			if x.Tok == token.BREAK && x.Label == nil && breaksRange(rs, x) {
+				pass.Reportf(x.Pos(), "break inside range over map is a first-match exit "+
+					"over randomized iteration order; iterate a deterministic key order instead")
+			}
+		}
+		return true
+	})
+}
+
+// checkMapRangeAssign flags float accumulation, and appends whose slice is
+// never sorted later in the enclosing function.
+func checkMapRangeAssign(pass *Pass, as *ast.AssignStmt, rs *ast.RangeStmt, fnBody *ast.BlockStmt) {
+	// Float accumulation via compound assignment: order changes rounding.
+	if as.Tok == token.ADD_ASSIGN || as.Tok == token.SUB_ASSIGN ||
+		as.Tok == token.MUL_ASSIGN || as.Tok == token.QUO_ASSIGN {
+		for _, lhs := range as.Lhs {
+			if t := pass.TypesInfo.TypeOf(lhs); t != nil && isFloat(t) {
+				pass.Reportf(as.Pos(), "floating-point accumulation inside range over map: "+
+					"rounding depends on the randomized iteration order; sort the keys first")
+			}
+		}
+	}
+	// append(s, ...) collected from a map range must be sorted afterwards.
+	for i, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+			continue
+		}
+		if i >= len(as.Lhs) {
+			continue
+		}
+		root := rootIdent(as.Lhs[i])
+		if root == nil {
+			continue
+		}
+		obj := objOf(pass.TypesInfo, root)
+		if obj == nil || sortedAfter(pass, fnBody, rs, obj) {
+			continue
+		}
+		pass.Reportf(call.Pos(), "slice %s collects entries in randomized map order and is "+
+			"never sorted in this function; sort it before use", root.Name)
+	}
+}
+
+// sortedAfter reports whether obj is passed to a sort/slices call located
+// after the range statement within the enclosing function body.
+func sortedAfter(pass *Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		fn := calleeFunc(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if root := rootIdent(arg); root != nil && objOf(pass.TypesInfo, root) == obj {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// breaksRange reports whether an unlabeled break inside the range body
+// terminates the range loop itself — i.e. no nested for, range, switch, or
+// select between the two re-binds the break.
+func breaksRange(rs *ast.RangeStmt, brk *ast.BranchStmt) bool {
+	bindsToRange := true
+	ast.Inspect(rs.Body, func(node ast.Node) bool {
+		if !bindsToRange || node == nil {
+			return false
+		}
+		switch node.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt,
+			*ast.TypeSwitchStmt, *ast.SelectStmt:
+			if node.Pos() <= brk.Pos() && brk.End() <= node.End() {
+				bindsToRange = false
+			}
+			return false
+		}
+		return true
+	})
+	return bindsToRange
+}
+
+func hasPrefix(s, prefix string) bool {
+	return len(s) >= len(prefix) && s[:len(prefix)] == prefix
+}
+
+// isWriterMethod reports whether fn is a Write/WriteString/WriteByte/etc.
+// method — writing through any sink from inside a map range leaks order.
+func isWriterMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return hasPrefix(fn.Name(), "Write")
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,218 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ParamlitPackages are the timing-model hot paths whose hardware parameters
+// must be traceable to Table III: the core and memory-system models.
+var ParamlitPackages = []string{
+	"repro/internal/cpu",
+	"repro/internal/mem",
+}
+
+// paramWords are identifier words that mark a value as a hardware timing or
+// geometry parameter (latencies, MSHR counts, bank/way/port counts, queue
+// and window depths — the Table III vocabulary).
+var paramWords = map[string]bool{
+	"latency": true, "lat": true, "latencies": true,
+	"cycle": true, "cycles": true,
+	"delay": true, "penalty": true,
+	"mshr": true, "mshrs": true,
+	"bank": true, "banks": true,
+	"way": true, "ways": true, "assoc": true, "associativity": true,
+	"window": true, "rob": true,
+	"width": true, "depth": true,
+	"port": true, "ports": true,
+	"lane": true, "lanes": true,
+	"sets": true,
+}
+
+// paramlitThreshold: integer literals up to this value are ubiquitous
+// arithmetic (increments, halving, off-by-one adjustments) and never
+// flagged; real Table III parameters (latencies ≥ 2 cycles appear as named
+// config fields already) are larger.
+const paramlitThreshold = 2
+
+// Paramlit enforces parameter provenance in the cpu/mem timing models:
+// an integer literal that the surrounding code identifies as a hardware
+// timing or geometry parameter — assigned to, compared against, or composed
+// with an identifier from the Table III vocabulary — must come from a
+// config/params struct or a named constant, not appear inline in a hot
+// path. Cycle-approximate models live or die on knowing where every timing
+// constant came from; a bare `latency = 50` three calls deep is how
+// reproductions silently drift from the paper.
+//
+// Allowed provenance sites: const declarations, and composite literals of
+// types whose name contains Config, Params or Cfg (the parameter structs
+// themselves, e.g. Table III's CacheConfig blocks).
+var Paramlit = &Analyzer{
+	Name: "paramlit",
+	Doc:  "hardware timing/geometry literals in cpu/mem must flow from config structs or named constants",
+	Run:  runParamlit,
+}
+
+func runParamlit(pass *Pass) error {
+	if !anyPkgMatches(pass.Pkg.Path(), ParamlitPackages) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if inTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			stack = append(stack, n)
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.INT {
+				return true
+			}
+			v, err := strconv.ParseUint(strings.ReplaceAll(lit.Value, "_", ""), 0, 64)
+			if err != nil || v <= paramlitThreshold {
+				return true
+			}
+			if name, isParam := paramContext(pass, stack, lit); isParam {
+				pass.Reportf(lit.Pos(), "inline hardware parameter %s for %q: hoist it into a "+
+					"named constant or a Config/Params struct so its Table III provenance is traceable",
+					lit.Value, name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// paramContext walks the ancestor stack of an integer literal and decides
+// whether the literal is being used as a hardware parameter, returning the
+// identifier that marked it. Provenance sites (const decls, Config
+// composite literals) return false immediately.
+func paramContext(pass *Pass, stack []ast.Node, lit *ast.BasicLit) (string, bool) {
+	// stack[len-1] == lit; walk ancestors from the innermost outward.
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch anc := stack[i].(type) {
+		case *ast.GenDecl:
+			if anc.Tok == token.CONST {
+				return "", false // named-constant declaration: provenance is the name
+			}
+		case *ast.CompositeLit:
+			if isConfigComposite(pass, anc) {
+				return "", false // the parameter struct itself: canonical provenance
+			}
+			// Non-config composite: a param-flavored field key marks the
+			// literal (e.g. DRAM{Latency: 50}).
+			if kv := enclosingKeyValue(anc, lit); kv != nil {
+				if id, ok := kv.Key.(*ast.Ident); ok && hasParamWord(id.Name) {
+					return id.Name, true
+				}
+			}
+			return "", false
+		case *ast.BinaryExpr:
+			// A logical operator is a context boundary: the literal's value
+			// context is fully contained in one operand of && / ||.
+			if anc.Op == token.LAND || anc.Op == token.LOR {
+				return "", false
+			}
+			// The literal combines or compares with a param-named operand:
+			// `lat > 40`, `cycles + 3*bankStall`.
+			other := anc.X
+			if lit.Pos() < anc.OpPos {
+				other = anc.Y
+			}
+			if name, ok := paramIdentIn(other); ok {
+				return name, true
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range anc.Lhs {
+				if root := rootIdent(lhs); root != nil && hasParamWord(root.Name) {
+					return root.Name, true
+				}
+				// Selector writes name the field: c.hitLatency = 4.
+				if sel, ok := lhs.(*ast.SelectorExpr); ok && hasParamWord(sel.Sel.Name) {
+					return sel.Sel.Name, true
+				}
+			}
+		case *ast.ValueSpec:
+			// A const spec is itself the provenance site (the ValueSpec sits
+			// below its GenDecl on the stack, so check the token here).
+			if i > 0 {
+				if gd, ok := stack[i-1].(*ast.GenDecl); ok && gd.Tok == token.CONST {
+					return "", false
+				}
+			}
+			for _, name := range anc.Names {
+				if hasParamWord(name.Name) {
+					return name.Name, true
+				}
+			}
+		case *ast.BlockStmt, *ast.FuncDecl, *ast.File:
+			return "", false // scanned far enough; no param context found
+		}
+	}
+	return "", false
+}
+
+// isConfigComposite reports whether a composite literal builds a
+// config/params struct (by type name).
+func isConfigComposite(pass *Pass, cl *ast.CompositeLit) bool {
+	t := pass.TypesInfo.TypeOf(cl)
+	if t == nil {
+		return false
+	}
+	name := t.String()
+	if named, ok := t.(*types.Named); ok {
+		name = named.Obj().Name()
+	} else if ptr, ok := t.(*types.Pointer); ok {
+		if named, ok := ptr.Elem().(*types.Named); ok {
+			name = named.Obj().Name()
+		}
+	}
+	return strings.Contains(name, "Config") || strings.Contains(name, "Params") ||
+		strings.Contains(name, "Cfg")
+}
+
+// enclosingKeyValue finds the KeyValueExpr element of cl that contains lit.
+func enclosingKeyValue(cl *ast.CompositeLit, lit *ast.BasicLit) *ast.KeyValueExpr {
+	for _, elt := range cl.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok &&
+			kv.Pos() <= lit.Pos() && lit.End() <= kv.End() {
+			return kv
+		}
+	}
+	return nil
+}
+
+// paramIdentIn reports the first param-flavored identifier mentioned
+// anywhere in e.
+func paramIdentIn(e ast.Expr) (string, bool) {
+	var name string
+	ast.Inspect(e, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && hasParamWord(id.Name) {
+			name = id.Name
+			return false
+		}
+		return true
+	})
+	return name, name != ""
+}
+
+// hasParamWord reports whether any camelCase/snake_case word of the
+// identifier is in the Table III parameter vocabulary.
+func hasParamWord(name string) bool {
+	for _, w := range identWords(name) {
+		if paramWords[w] {
+			return true
+		}
+	}
+	return false
+}

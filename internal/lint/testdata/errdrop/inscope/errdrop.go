@@ -1,0 +1,61 @@
+// Package errdrop is the errdrop fixture; linttest checks it under
+// repro/internal/report, which is inside the analyzer's internal/ scope.
+package errdrop
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+type flusher struct{}
+
+func (flusher) Flush() error { return nil }
+
+func mayFail() error { return nil }
+
+func pair() (int, error) { return 0, nil }
+
+func dropped() {
+	mayFail() // want `mayFail is silently discarded`
+}
+
+func droppedDeferGo() {
+	defer mayFail() // want `silently discarded`
+	go mayFail()    // want `silently discarded`
+}
+
+func droppedMethod(f flusher) {
+	f.Flush() // want `silently discarded`
+}
+
+func explicitDiscard() {
+	_ = mayFail() // explicit discard is visible in review: allowed
+	n, _ := pair()
+	_ = n
+}
+
+func handled() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func consoleAndMemorySinks(b *strings.Builder, buf *bytes.Buffer) {
+	fmt.Println("progress")          // stdout: allowed
+	fmt.Fprintf(os.Stderr, "note\n") // console: allowed
+	fmt.Fprintf(b, "x")              // in-memory sink: allowed
+	buf.WriteString("y")             // in-memory sink method: allowed
+	b.WriteByte('z')                 // in-memory sink method: allowed
+}
+
+func interfaceWriter(w io.Writer) {
+	fmt.Fprintf(w, "x\n") // want `fmt.Fprintf is silently discarded`
+}
+
+func allowEscape() {
+	mayFail() //evelint:allow errdrop -- fixture: best-effort call, failure is benign
+}

@@ -1,0 +1,10 @@
+// Package outofscope is the errdrop true-negative fixture: a discarded
+// error under an import path outside internal/ and cmd/ (linttest runs it
+// as repro/eve) must produce no diagnostics.
+package outofscope
+
+func mayFail() error { return nil }
+
+func dropped() {
+	mayFail()
+}

@@ -1,0 +1,103 @@
+// Package maporder is the maporder fixture; the analyzer runs on every
+// package, so the import path linttest checks it under does not matter.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `slice keys collects entries in randomized map order`
+	}
+	return keys
+}
+
+func collectSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // collect-then-sort idiom: allowed
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func printLeak(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `output written inside range over map`
+	}
+}
+
+func writerLeak(m map[string]int, b *strings.Builder) {
+	for k := range m {
+		b.WriteString(k) // want `WriteString called inside range over map`
+	}
+}
+
+func floatLeak(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `floating-point accumulation inside range over map`
+	}
+	return sum
+}
+
+func intSumOK(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v // integer accumulation is exactly commutative: allowed
+	}
+	return total
+}
+
+func firstMatch(m map[string]int, target int) string {
+	for k, v := range m {
+		if v == target {
+			return k // want `return inside range over map`
+		}
+	}
+	return ""
+}
+
+func breakMatch(m map[string]int) string {
+	var hit string
+	for k := range m {
+		if len(k) > 3 {
+			hit = k
+			break // want `break inside range over map`
+		}
+	}
+	return hit
+}
+
+func nestedBreakOK(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		for _, v := range vs {
+			if v < 0 {
+				break // binds to the inner slice loop: allowed
+			}
+			n += v
+		}
+	}
+	return n
+}
+
+func reindexOK(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k // keyed writes are order-independent: allowed
+	}
+	return out
+}
+
+func allowEscape(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) //evelint:allow maporder -- fixture: the caller sorts before use
+	}
+	return keys
+}

@@ -1,0 +1,20 @@
+// Package cold is the paramlit true-negative fixture: the same inline
+// parameter patterns, type-checked under an import path outside the
+// cpu/mem hot paths (linttest runs it as repro/internal/isa), must
+// produce no diagnostics.
+package cold
+
+type DRAMModel struct {
+	Latency int64
+}
+
+func newDRAM() *DRAMModel {
+	return &DRAMModel{Latency: 50}
+}
+
+func busy(lat int64) int64 {
+	if lat > 40 {
+		return lat
+	}
+	return lat + 7
+}

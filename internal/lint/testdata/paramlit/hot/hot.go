@@ -1,0 +1,57 @@
+// Package mem is the paramlit fixture for a timing-model hot path; linttest
+// checks it under the restricted import path repro/internal/mem.
+package mem
+
+// CacheConfig mirrors the shape of a parameter struct: literals inside its
+// composite literals are the canonical provenance site.
+type CacheConfig struct {
+	HitLatency int64
+	Ways       int
+}
+
+// DRAMModel is deliberately not a Config/Params/Cfg type.
+type DRAMModel struct {
+	Latency int64
+}
+
+const drainLatency = 12 // named constant: provenance is the name
+
+var defaultL1 = CacheConfig{HitLatency: 4, Ways: 8} // Config composite: allowed
+
+func newDRAM() *DRAMModel {
+	return &DRAMModel{Latency: 50} // want `inline hardware parameter 50`
+}
+
+func busy(lat int64) int64 {
+	if lat > 40 { // want `inline hardware parameter 40`
+		return lat - drainLatency
+	}
+	return lat
+}
+
+func stall(cycles int64) int64 {
+	return cycles + 7 // want `inline hardware parameter 7`
+}
+
+func retune(d *DRAMModel) {
+	d.Latency = 30 // want `inline hardware parameter 30`
+}
+
+func okSmall(ways int) int {
+	return ways / 2 // literals <= 2 are ordinary arithmetic: allowed
+}
+
+func okUnrelated(n int) int {
+	if n > 4096 { // no parameter-flavored context: allowed
+		n = 4096
+	}
+	return n
+}
+
+func okBoundary(c *CacheConfig, head int) bool {
+	return head > 1024 && c.Ways > 0 // && is a context boundary: allowed
+}
+
+func allowEscape() *DRAMModel {
+	return &DRAMModel{Latency: 50} //evelint:allow paramlit -- fixture: measured value pending a named-constant hoist
+}

@@ -1,0 +1,51 @@
+// Package sim is a simpurity fixture; linttest checks it under the
+// restricted import path repro/internal/sim.
+package sim
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+var tickCount int64 // package-level mutable state
+
+var seeded = rand.New(rand.NewSource(42)) // explicitly seeded source: allowed
+
+func init() {
+	tickCount = 1 // initialization-time write: allowed
+}
+
+func clockLeak() time.Duration {
+	start := time.Now() // want `wall-clock read`
+	tickCount++         // want `write to package-level variable tickCount`
+	return time.Since(start) // want `wall-clock read`
+}
+
+func randomLeak() int {
+	if os.Getenv("EVE_FAST") != "" { // want `environment probe`
+		return 0
+	}
+	return rand.Intn(8) // want `unseeded randomness`
+}
+
+func seededOK() int {
+	n := seeded.Intn(8) // method on an explicitly seeded *rand.Rand: allowed
+	local := 0          // local state: allowed
+	local += n
+	return local
+}
+
+func allowAbove() time.Time {
+	//evelint:allow simpurity -- fixture: escape hatch on the line above
+	return time.Now()
+}
+
+func allowTrailing() {
+	tickCount = time.Now().Unix() //evelint:allow simpurity -- fixture: trailing escape hatch
+}
+
+func otherAnalyzerAllowDoesNotApply() {
+	//evelint:allow errdrop -- fixture: a different analyzer's allow must not mask simpurity
+	tickCount = 2 // want `write to package-level variable tickCount`
+}

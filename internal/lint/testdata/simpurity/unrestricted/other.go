@@ -1,0 +1,20 @@
+// Package other is the simpurity true-negative fixture: the same impure
+// patterns, type-checked under an import path outside the purity contract
+// (linttest runs it as repro/internal/report), must produce no diagnostics.
+package other
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+var calls int64
+
+func clockFine() time.Duration {
+	start := time.Now()
+	calls++
+	_ = os.Getenv("EVE_FAST")
+	_ = rand.Intn(8)
+	return time.Since(start)
+}

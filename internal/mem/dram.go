@@ -17,9 +17,17 @@ type DRAM struct {
 	pendingWrites int
 }
 
+// Table III DRAM parameters at a 1 GHz core clock: closed-page access
+// latency of single-channel DDR4-2400, and bus occupancy of one 64-byte
+// line at 19.2 GB/s.
+const (
+	dramLatency       = 50
+	dramCyclesPerLine = 64.0 / 19.2
+)
+
 // DefaultDRAM returns the Table III configuration at a 1 GHz core clock.
 func DefaultDRAM() *DRAM {
-	return &DRAM{Latency: 50, CyclesPerLine: 64.0 / 19.2}
+	return &DRAM{Latency: dramLatency, CyclesPerLine: dramCyclesPerLine}
 }
 
 // Name implements Level.

@@ -58,3 +58,38 @@ func TestSpeedupAndNormalize(t *testing.T) {
 		t.Fatalf("Pct = %s", Pct(0.117))
 	}
 }
+
+// Zero-base normalization must not divide by zero: everything maps to 0.
+func TestNormalizeZeroBase(t *testing.T) {
+	n := Normalize([]float64{2, 4, 8}, 0)
+	for i, v := range n {
+		if v != 0 {
+			t.Fatalf("Normalize(..., 0)[%d] = %f, want 0", i, v)
+		}
+	}
+	if out := Normalize(nil, 5); len(out) != 0 {
+		t.Fatalf("Normalize(nil) = %v, want empty", out)
+	}
+}
+
+// Geomean works in log space, so products that would overflow a float64
+// must still come out finite and exact.
+func TestGeomeanLargeValues(t *testing.T) {
+	big := 1e300
+	xs := []float64{big, big, big, big}
+	if g := Geomean(xs); math.IsInf(g, 0) || math.Abs(g/big-1) > 1e-9 {
+		t.Fatalf("Geomean of huge values = %g, want %g", g, big)
+	}
+}
+
+func TestPctEdges(t *testing.T) {
+	if Pct(0) != "0%" {
+		t.Fatalf("Pct(0) = %s", Pct(0))
+	}
+	if Pct(1) != "100%" {
+		t.Fatalf("Pct(1) = %s", Pct(1))
+	}
+	if Pct(-0.25) != "-25%" {
+		t.Fatalf("Pct(-0.25) = %s", Pct(-0.25))
+	}
+}

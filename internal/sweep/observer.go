@@ -20,9 +20,11 @@ type Progress struct {
 	busy  time.Duration // summed per-cell wall time (CPU-side work)
 }
 
-// NewProgress returns a Progress writing to w.
+// NewProgress returns a Progress writing to w. The construction timestamp
+// anchors the sweep's elapsed-time summary; it is display-only and never
+// reaches a simulated result.
 func NewProgress(w io.Writer) *Progress {
-	return &Progress{w: w, start: time.Now()}
+	return &Progress{w: w, start: time.Now()} //evelint:allow simpurity -- progress telemetry, not simulated state
 }
 
 // CellStart implements Observer.
@@ -37,10 +39,14 @@ func (p *Progress) CellDone(done, total int, r sim.Result, wall time.Duration) {
 	if r.Err != nil {
 		status = "FAILED: " + r.Err.Error()
 	}
+	// Progress lines are best-effort: a broken progress pipe must not abort
+	// a long sweep, so write errors are deliberately ignored.
+	//evelint:allow errdrop -- best-effort progress output; a failed write must not kill the sweep
 	fmt.Fprintf(p.w, "[%d/%d] %-11s %-10s %s (%.2fs)\n",
 		done, total, r.Kernel, r.System, status, wall.Seconds())
 	if done == total {
-		elapsed := time.Since(p.start)
+		elapsed := time.Since(p.start) //evelint:allow simpurity -- progress telemetry, not simulated state
+		//evelint:allow errdrop -- best-effort progress output; a failed write must not kill the sweep
 		fmt.Fprintf(p.w, "sweep: %d cells in %.2fs wall (%.2fs of simulation, %.1fx overlap)\n",
 			total, elapsed.Seconds(), p.busy.Seconds(), p.busy.Seconds()/elapsed.Seconds())
 	}

@@ -106,13 +106,16 @@ func Matrix(systems []sim.Config, kernels []*workloads.Kernel, opts Options) ([]
 				if opts.Observer != nil {
 					opts.Observer.CellStart(k.Name, s.Name())
 				}
-				start := time.Now()
+				// Wall time here is observer telemetry only — it never touches
+				// a Result, so the determinism contract is unaffected.
+				start := time.Now() //evelint:allow simpurity -- progress telemetry, not simulated state
 				r := runCell(s, k)
 				out[c.ki][c.si] = r
 				if r.Err != nil {
 					aborted.Store(true)
 				}
 				if opts.Observer != nil {
+					//evelint:allow simpurity -- per-cell wall time feeds the progress observer only
 					opts.Observer.CellDone(int(done.Add(1)), total, r, time.Since(start))
 				}
 			}
