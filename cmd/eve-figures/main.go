@@ -40,23 +40,40 @@ type jsonResult struct {
 	SpawnCost     int64            `json:"spawn_cost,omitempty"`
 	EnergyReadEq  float64          `json:"energy_read_eq,omitempty"`
 	Breakdown     map[string]int64 `json:"breakdown,omitempty"`
+	// Error carries the cell's validation failure (or recovered panic),
+	// truncated to its stable first line. A cell with an error still emits
+	// its row, so one bad cell never hides the rest of the matrix.
+	Error string `json:"error,omitempty"`
+}
+
+// firstLine truncates an error rendering to its first line, dropping
+// host-dependent diagnostics (panic stacks) so emitted JSON stays stable.
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
 }
 
 // buildJSON flattens the result matrix. The IO baseline column is located
 // by name — result rows make no promise about system ordering — and a row
 // without an IO column is an error rather than a silently wrong speedup.
+// Failed cells keep their row with an error field; speedups involving a
+// failed (zero-cycle) run are emitted as 0 rather than ±Inf.
 func buildJSON(results [][]sim.Result) ([]jsonResult, error) {
 	ioName := sim.Config{Kind: sim.SysIO}.Name()
 	var out []jsonResult
 	for _, kr := range results {
 		io := 0.0
+		found := false
 		for _, r := range kr {
 			if r.System == ioName {
 				io = float64(r.Cycles)
+				found = true
 				break
 			}
 		}
-		if io == 0 {
+		if !found {
 			kernel := "(empty row)"
 			if len(kr) > 0 {
 				kernel = kr[0].Kernel
@@ -68,12 +85,17 @@ func buildJSON(results [][]sim.Result) ([]jsonResult, error) {
 				Kernel:        r.Kernel,
 				System:        r.System,
 				Cycles:        r.Cycles,
-				SpeedupVsIO:   io / float64(r.Cycles),
 				DynamicInstrs: r.Mix.DynamicInstrs(),
 				TotalOps:      r.Mix.TotalOps(),
 				VMUStallFrac:  r.VMUStall,
 				SpawnCost:     r.SpawnCost,
 				EnergyReadEq:  r.EnergyEq,
+			}
+			if io > 0 && r.Cycles > 0 {
+				jr.SpeedupVsIO = io / float64(r.Cycles)
+			}
+			if r.Err != nil {
+				jr.Error = firstLine(r.Err.Error())
 			}
 			if r.Breakdown.Total() > 0 {
 				jr.Breakdown = map[string]int64{}
@@ -87,6 +109,21 @@ func buildJSON(results [][]sim.Result) ([]jsonResult, error) {
 		}
 	}
 	return out, nil
+}
+
+// countFailures tallies failed cells and collects their stable messages.
+func countFailures(results [][]sim.Result) (int, []string) {
+	n := 0
+	var msgs []string
+	for _, kr := range results {
+		for _, r := range kr {
+			if r.Err != nil {
+				n++
+				msgs = append(msgs, fmt.Sprintf("%s/%s: %s", r.Kernel, r.System, firstLine(r.Err.Error())))
+			}
+		}
+	}
+	return n, msgs
 }
 
 func emitJSON(w io.Writer, results [][]sim.Result) error {
@@ -140,21 +177,31 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "simulating %d kernels x %d systems on %d workers...\n",
 		len(kernels), len(systems), *parallel)
-	opts := sweep.Options{Workers: *parallel, AbortOnError: true}
+	// JSON mode completes the whole matrix and surfaces per-cell errors in
+	// the output; rendered-table mode aborts on the first failure, since a
+	// table over invalid results is worthless.
+	opts := sweep.Options{Workers: *parallel, AbortOnError: !*asJSON}
 	if *progress {
 		opts.Observer = sweep.NewProgress(os.Stderr)
 	}
 	results, err := sweep.Matrix(systems, kernels, opts)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "VALIDATION FAILURE: %v\n", err)
-		os.Exit(1)
-	}
 	if *asJSON {
 		if err := emitJSON(os.Stdout, results); err != nil {
 			fmt.Fprintln(os.Stderr, "eve-figures:", err)
 			os.Exit(1)
 		}
+		if n, msgs := countFailures(results); n > 0 {
+			fmt.Fprintf(os.Stderr, "eve-figures: %d cells failed validation:\n", n)
+			for _, m := range msgs {
+				fmt.Fprintln(os.Stderr, " ", m)
+			}
+			os.Exit(1)
+		}
 		return
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "VALIDATION FAILURE: %v\n", err)
+		os.Exit(1)
 	}
 	geo := func(kernel string) bool {
 		k, err := workloads.ByName(kernels, kernel)

@@ -3,11 +3,14 @@ package main
 import (
 	"bytes"
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"testing"
 
+	"repro/internal/isa"
 	"repro/internal/sim"
 	"repro/internal/sweep"
 	"repro/internal/workloads"
@@ -51,6 +54,73 @@ func TestSmallJSONGolden(t *testing.T) {
 			"If the timing-model change is intentional, refresh with -update.\n"+
 			"got %d bytes, want %d bytes; first divergence at byte %d",
 			golden, len(got), len(want), firstDiff(got, want))
+	}
+}
+
+// TestFailingCellJSONGolden pins the JSON shape of a matrix containing
+// failing cells: a checker rejection keeps its row with a stable one-line
+// error, and a panicking cell (zero cycles) emits speedup 0 rather than
+// ±Inf — which would not marshal at all. Refresh with -update.
+func TestFailingCellJSONGolden(t *testing.T) {
+	badCheck := &workloads.Kernel{
+		Name: "bad-check", Suite: "t", Input: "64",
+		Run: func(b *isa.Builder, vector bool) workloads.CheckFunc {
+			addr := b.Mem.AllocU32(64)
+			if vector {
+				b.SetVL(64)
+				b.Load(1, addr)
+				b.Store(1, addr)
+				b.Fence()
+			} else {
+				b.ScalarStore(addr, b.ScalarLoad(addr))
+			}
+			return func() error { return fmt.Errorf("synthetic checker failure\nsecond line is host diagnostics") }
+		},
+	}
+	panics := &workloads.Kernel{
+		Name: "panics", Suite: "t", Input: "0",
+		Run: func(b *isa.Builder, vector bool) workloads.CheckFunc {
+			panic("synthetic simulator bug")
+		},
+	}
+	results, err := sweep.Matrix(
+		[]sim.Config{{Kind: sim.SysIO}, {Kind: sim.SysO3}},
+		[]*workloads.Kernel{badCheck, panics},
+		sweep.Options{Workers: 2})
+	if err == nil {
+		t.Fatal("matrix with failing kernels reported no aggregate error")
+	}
+	var buf bytes.Buffer
+	if err := emitJSON(&buf, results); err != nil {
+		t.Fatalf("emitJSON over failing cells: %v", err)
+	}
+	got := buf.Bytes()
+
+	golden := filepath.Join("testdata", "failing.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the golden file)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("failing-cell JSON diverges from %s; first divergence at byte %d",
+			golden, firstDiff(got, want))
+	}
+
+	n, msgs := countFailures(results)
+	if n != 4 {
+		t.Errorf("countFailures = %d, want 4 (both kernels fail on both systems)", n)
+	}
+	for _, m := range msgs {
+		if strings.ContainsRune(m, '\n') {
+			t.Errorf("failure message contains a newline (stack leaked): %q", m)
+		}
 	}
 }
 

@@ -79,6 +79,12 @@ type Stack struct {
 	t0, t1, t2, t3 bitmat.Row
 
 	cycles uint64 // arithmetic μops executed
+
+	// Fault-injection state (internal/faults): bit-line computes whose
+	// operand-B wordline activation is armed to fail, keyed by the stack's
+	// 0-based blc sequence number.
+	blcSeq  uint64
+	wlDrops map[uint64]struct{}
 }
 
 // NewStack builds the circuit stack for the given array and parallelization
@@ -123,6 +129,25 @@ func (s *Stack) Array() *sram.Array { return s.arr }
 
 // Cycles reports how many arithmetic μops the stack has executed.
 func (s *Stack) Cycles() uint64 { return s.cycles }
+
+// ArmWordlineDrop arms a dropped wordline activation: on the stack's seq-th
+// bit-line compute (0-based, counted by BLCs since construction), operand
+// B's wordline fails to activate, so the sense amplifiers observe row A
+// alone (and = or = A, as in the self-compute idiom). Each armed drop fires
+// at most once.
+func (s *Stack) ArmWordlineDrop(seq uint64) {
+	if s.wlDrops == nil {
+		s.wlDrops = make(map[uint64]struct{})
+	}
+	s.wlDrops[seq] = struct{}{}
+}
+
+// BLCs reports the number of bit-line computes the stack has issued since
+// construction — the sequence space ArmWordlineDrop addresses.
+func (s *Stack) BLCs() uint64 { return s.blcSeq }
+
+// ClearFaults disarms every pending wordline drop.
+func (s *Stack) ClearFaults() { s.wlDrops = nil }
 
 // Mask returns the current mask latch contents (live; do not mutate).
 func (s *Stack) Mask() bitmat.Row { return s.maskL }
@@ -201,6 +226,13 @@ func (s *Stack) read(op uop.Arith, row int, env *Env) {
 // blc performs the bit-line compute and drives the XOR/XNOR and add layers
 // combinationally from the sense outputs.
 func (s *Stack) blc(ra, rb int) {
+	if s.wlDrops != nil {
+		if _, drop := s.wlDrops[s.blcSeq]; drop {
+			delete(s.wlDrops, s.blcSeq)
+			rb = ra
+		}
+	}
+	s.blcSeq++
 	s.arr.BitLineCompute(ra, rb)
 	// xor = nand AND or; xnor = its complement (§III: "the XOR/XNOR logic
 	// uses the nand and or values").

@@ -44,8 +44,9 @@ type costModel struct {
 	cache  map[costKey]opCost
 }
 
-func newCostModel(n int) *costModel {
+func newCostModel(n, maxUProgCycles int) *costModel {
 	m := uprog.NewMachine(n, 2)
+	m.MaxCycles = maxUProgCycles
 	return &costModel{layout: m.Layout, mach: m, cache: make(map[costKey]opCost)}
 }
 
@@ -63,7 +64,7 @@ func (c *costModel) run(p *uop.Program) opCost {
 // broadcastCost is the cost of staging a scalar operand into a scratch
 // register through the data_in port (the .vx prologue).
 func (c *costModel) broadcastCost() opCost {
-	return c.run(uprog.WriteExt(c.layout, c.layout.ScratchID(5), false))
+	return c.run(uprog.WriteExt(c.layout, c.layout.ScratchID(uprog.BroadcastScratch), false))
 }
 
 func (c *costModel) lookup(in *isa.Instr) opCost {

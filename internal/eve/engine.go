@@ -55,6 +55,10 @@ type Config struct {
 	QueueDepth int // VCU instruction queue between core commit and EVE
 	// StreamBits is the SRAM read bandwidth B feeding the VRU (§V-D).
 	StreamBits int
+	// MaxUProgCycles bounds each micro-program run on the cost-model
+	// machine; zero selects uprog.DefaultMaxCycles (watchdog, see
+	// uprog.CycleLimitError).
+	MaxUProgCycles int
 }
 
 // DefaultConfig returns the paper's EVE-n configuration. StreamBits is §V-D's
@@ -128,7 +132,7 @@ func (e *Engine) SetTracer(f func(TraceEntry)) { e.tracer = f }
 func New(cfg Config, llc mem.Level) *Engine {
 	return &Engine{
 		cfg:     cfg,
-		cost:    newCostModel(cfg.N),
+		cost:    newCostModel(cfg.N, cfg.MaxUProgCycles),
 		llc:     llc,
 		geom:    vreg.Standard(cfg.N),
 		penalty: analytic.ClockPenalty(cfg.N),

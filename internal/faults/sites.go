@@ -1,0 +1,57 @@
+package faults
+
+import "math/rand"
+
+// Profile spans a kernel's fault-site space, measured from a fault-free
+// datapath run: the substrate geometry plus how many array accesses and
+// bit-line computes the run performs. Site sampling draws rows, columns and
+// sequence indices from these ranges, so every sampled fault lands on real
+// hardware state at a point the run actually reaches.
+type Profile struct {
+	Rows     int    `json:"rows"`
+	Cols     int    `json:"cols"`
+	Accesses uint64 `json:"accesses"`
+	BLCs     uint64 `json:"blcs"`
+}
+
+// Sites samples count fault sites from the profile with a seeded generator,
+// drawing each site's kind uniformly from kinds. The sequence is a pure
+// function of (seed, p, count, kinds): campaigns re-derive identical site
+// lists at any worker count, and a re-run with the same seed reproduces the
+// same campaign byte for byte.
+func Sites(seed int64, p Profile, count int, kinds []Kind) []Fault {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Fault, 0, count)
+	for i := 0; i < count; i++ {
+		f := Fault{Kind: kinds[rng.Intn(len(kinds))]}
+		switch f.Kind {
+		case KindBitFlip:
+			f.Row = rng.Intn(max(p.Rows, 1))
+			f.Col = rng.Intn(max(p.Cols, 1))
+			if p.Accesses > 0 {
+				f.Seq = uint64(rng.Int63n(int64(p.Accesses)))
+			}
+		case KindStuckSA:
+			f.Col = rng.Intn(max(p.Cols, 1))
+			f.Stuck = rng.Intn(2) == 1
+		case KindWordlineDrop:
+			if p.BLCs > 0 {
+				f.Seq = uint64(rng.Int63n(int64(p.BLCs)))
+			}
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// kernelSeed derives a per-kernel site seed from the campaign seed and the
+// kernel name (FNV-1a), so a kernel's site list does not depend on which
+// other kernels share the campaign.
+func kernelSeed(seed int64, name string) int64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return seed ^ int64(h&0x7FFFFFFFFFFFFFFF)
+}

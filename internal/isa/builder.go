@@ -23,6 +23,7 @@ type Builder struct {
 	sink   Sink
 	mix    Mix
 	masked bool
+	dp     Datapath
 }
 
 // NewBuilder returns a builder for a machine with the given hardware vector
@@ -54,6 +55,10 @@ func (b *Builder) VReg(r int) []uint32 { return b.regs[r] }
 // operations; the predicate is v0's element LSBs, per RVV.
 func (b *Builder) SetMasked(on bool) { b.masked = on }
 
+// SetDatapath attaches an execution substrate. Registers must not hold live
+// data when the substrate is attached — attach before the kernel runs.
+func (b *Builder) SetDatapath(dp Datapath) { b.dp = dp }
+
 func (b *Builder) emitV(in *Instr) {
 	in.VL = b.vl
 	in.Masked = in.Masked || b.masked
@@ -65,6 +70,35 @@ func (b *Builder) emitV(in *Instr) {
 	}
 	if b.sink != nil {
 		b.sink.Emit(Event{Kind: EvVector, V: in})
+	}
+	b.execDP(in)
+}
+
+// execDP replays a register-writing instruction on the attached datapath and
+// adopts the substrate's destination contents as the architectural result.
+// Instructions without a vector destination only leave data through the
+// builder, which syncs their source registers before consuming them.
+func (b *Builder) execDP(in *Instr) {
+	if b.dp == nil {
+		return
+	}
+	switch in.Op {
+	case OpSetVL, OpFence, OpStore, OpStoreStride, OpStoreIdx, OpMvXS, OpNop:
+		return
+	}
+	copy(b.regs[in.Vd], b.dp.Exec(in, b.regs[in.Vd]))
+}
+
+// syncDP refreshes the golden mirror of the given registers from the
+// datapath, so values consumed outside the vector arrays — stores, scalar
+// reads, gather/scatter addressing, VRU inputs — observe any fault state
+// the substrate accumulated since the registers were written.
+func (b *Builder) syncDP(rs ...int) {
+	if b.dp == nil {
+		return
+	}
+	for _, r := range rs {
+		copy(b.regs[r], b.dp.Read(r))
 	}
 }
 
@@ -332,6 +366,7 @@ func (b *Builder) Load(vd int, addr uint64) {
 }
 
 func (b *Builder) Store(vs int, addr uint64) {
+	b.syncDP(vs)
 	s := b.regs[vs]
 	for i := 0; i < b.vl; i++ {
 		b.Mem.StoreU32(addr+uint64(4*i), s[i])
@@ -348,6 +383,7 @@ func (b *Builder) LoadStride(vd int, addr uint64, stride int64) {
 }
 
 func (b *Builder) StoreStride(vs int, addr uint64, stride int64) {
+	b.syncDP(vs)
 	s := b.regs[vs]
 	for i := 0; i < b.vl; i++ {
 		b.Mem.StoreU32(uint64(int64(addr)+int64(i)*stride), s[i])
@@ -356,6 +392,7 @@ func (b *Builder) StoreStride(vs int, addr uint64, stride int64) {
 }
 
 func (b *Builder) LoadIdx(vd int, base uint64, vidx int) {
+	b.syncDP(vidx)
 	d, ix := b.regs[vd], b.regs[vidx]
 	addrs := make([]uint64, b.vl)
 	for i := 0; i < b.vl; i++ {
@@ -366,6 +403,7 @@ func (b *Builder) LoadIdx(vd int, base uint64, vidx int) {
 }
 
 func (b *Builder) StoreIdx(vs int, base uint64, vidx int) {
+	b.syncDP(vs, vidx)
 	s, ix := b.regs[vs], b.regs[vidx]
 	addrs := make([]uint64, b.vl)
 	for i := 0; i < b.vl; i++ {
@@ -378,6 +416,7 @@ func (b *Builder) StoreIdx(vs int, base uint64, vidx int) {
 // Reductions follow RVV: vd[0] = vs1[0] reduced with vs2[0..vl-1].
 
 func (b *Builder) RedSum(vd, vs2, vs1 int) {
+	b.syncDP(vs1, vs2)
 	acc := b.regs[vs1][0]
 	for i := 0; i < b.vl; i++ {
 		acc += b.regs[vs2][i]
@@ -387,6 +426,7 @@ func (b *Builder) RedSum(vd, vs2, vs1 int) {
 }
 
 func (b *Builder) RedMin(vd, vs2, vs1 int) {
+	b.syncDP(vs1, vs2)
 	acc := int32(b.regs[vs1][0])
 	for i := 0; i < b.vl; i++ {
 		acc = min(acc, int32(b.regs[vs2][i]))
@@ -396,6 +436,7 @@ func (b *Builder) RedMin(vd, vs2, vs1 int) {
 }
 
 func (b *Builder) RedMax(vd, vs2, vs1 int) {
+	b.syncDP(vs1, vs2)
 	acc := int32(b.regs[vs1][0])
 	for i := 0; i < b.vl; i++ {
 		acc = max(acc, int32(b.regs[vs2][i]))
@@ -405,6 +446,7 @@ func (b *Builder) RedMax(vd, vs2, vs1 int) {
 }
 
 func (b *Builder) RedMinU(vd, vs2, vs1 int) {
+	b.syncDP(vs1, vs2)
 	acc := b.regs[vs1][0]
 	for i := 0; i < b.vl; i++ {
 		acc = min(acc, b.regs[vs2][i])
@@ -416,6 +458,7 @@ func (b *Builder) RedMinU(vd, vs2, vs1 int) {
 // Cross-element operations.
 
 func (b *Builder) Slide1Up(vd, vs int, x uint32) {
+	b.syncDP(vs)
 	s := b.regs[vs]
 	out := make([]uint32, b.vl)
 	out[0] = x
@@ -425,6 +468,7 @@ func (b *Builder) Slide1Up(vd, vs int, x uint32) {
 }
 
 func (b *Builder) Slide1Down(vd, vs int, x uint32) {
+	b.syncDP(vs)
 	s := b.regs[vs]
 	out := make([]uint32, b.vl)
 	copy(out, s[1:b.vl])
@@ -435,6 +479,7 @@ func (b *Builder) Slide1Down(vd, vs int, x uint32) {
 
 // RGather performs vd[i] = vs2[vs1[i]] with out-of-range indices yielding 0.
 func (b *Builder) RGather(vd, vs2, vs1 int) {
+	b.syncDP(vs1, vs2)
 	src, ix := b.regs[vs2], b.regs[vs1]
 	out := make([]uint32, b.vl)
 	for i := 0; i < b.vl; i++ {
@@ -451,6 +496,7 @@ func (b *Builder) RGather(vd, vs2, vs1 int) {
 // MvXS reads element 0 to the scalar core (vmv.x.s); the control processor
 // stalls commit awaiting EVE's reply (§V-A).
 func (b *Builder) MvXS(vs int) uint32 {
+	b.syncDP(vs)
 	v := b.regs[vs][0]
 	b.emitV(&Instr{Op: OpMvXS, Vs1: vs})
 	return v

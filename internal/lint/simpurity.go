@@ -17,6 +17,7 @@ var SimpurityPackages = []string{
 	"repro/internal/vengine",
 	"repro/internal/uprog",
 	"repro/internal/sweep",
+	"repro/internal/faults",
 }
 
 // Simpurity enforces the purity contract documented on sim.Run: simulation

@@ -93,6 +93,9 @@ type Cache struct {
 
 // NewCache builds a cache over the given lower level.
 func NewCache(cfg CacheConfig, lower Level) *Cache {
+	if cfg.Ways <= 0 {
+		panic(fmt.Sprintf("mem: %s has %d ways; must be positive", cfg.Name, cfg.Ways))
+	}
 	nsets := cfg.SizeBytes / (LineBytes * cfg.Ways)
 	if nsets <= 0 || nsets&(nsets-1) != 0 {
 		panic(fmt.Sprintf("mem: %s has %d sets; must be a positive power of two", cfg.Name, nsets))

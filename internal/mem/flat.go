@@ -9,6 +9,21 @@ package mem
 
 import "fmt"
 
+// AccessError reports a flat-memory access outside the mapped range — a
+// wild address, typically a kernel bug or a fault-corrupted index register.
+// Flat panics with a *AccessError so the invariant still fails loudly, while
+// sim.Run can recover it into a typed SimError for fault campaigns.
+type AccessError struct {
+	Addr uint64 // first byte of the offending access
+	Len  int    // access length in bytes
+	Cap  uint64 // mapped capacity
+}
+
+func (e *AccessError) Error() string {
+	return fmt.Sprintf("mem: access [%#x,%#x) out of bounds (capacity %#x)",
+		e.Addr, e.Addr+uint64(e.Len), e.Cap)
+}
+
 // Flat is the functional data memory: a byte-addressable array with a bump
 // allocator. Address 0 is kept unmapped so that zero-value addresses fault
 // loudly.
@@ -43,7 +58,7 @@ func (f *Flat) AllocU32(n int) uint64 { return f.Alloc(4*n, 64) }
 
 func (f *Flat) check(addr uint64, n int) {
 	if addr < 64 || addr+uint64(n) > uint64(len(f.data)) {
-		panic(fmt.Sprintf("mem: access [%#x,%#x) out of bounds", addr, addr+uint64(n)))
+		panic(&AccessError{Addr: addr, Len: n, Cap: uint64(len(f.data))})
 	}
 }
 
@@ -69,3 +84,22 @@ func (f *Flat) StoreI32(addr uint64, v int32) { f.StoreU32(addr, uint32(v)) }
 
 // Size reports the capacity in bytes.
 func (f *Flat) Size() int { return len(f.data) }
+
+// Checksum returns an FNV-1a hash of the allocated region (addresses below
+// the current break). Fault campaigns compare final-state checksums against
+// a fault-free baseline to detect silent data corruption the workload
+// checkers miss. Stores beyond the break — possible only through a
+// wild-but-in-bounds address — are deliberately outside the hash: they can
+// never be read back by a kernel whose allocations all precede them.
+func (f *Flat) Checksum() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, b := range f.data[:f.brk] {
+		h ^= uint64(b)
+		h *= prime
+	}
+	return h
+}

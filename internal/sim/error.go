@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/uprog"
+)
+
+// SimError is a typed, recoverable simulation abort: a fault-reachable
+// invariant fired mid-run — a wild memory access from a corrupted index
+// register, or the micro-program watchdog tripping on a corrupted sequencer
+// — and Run converted the unwind into a per-cell diagnosis instead of
+// killing the process. Fault campaigns (internal/faults) classify a Result
+// carrying a *SimError as a crash, distinct from a checker-detected
+// validation failure.
+type SimError struct {
+	System    string // system label (Config.Name)
+	Kernel    string // kernel name
+	Cycle     int64  // scalar-core commit cycle at the abort
+	Subsystem string // invariant owner: "mem" or "uprog"
+	Err       error  // the underlying typed invariant error
+}
+
+func (e *SimError) Error() string {
+	return fmt.Sprintf("sim: %s on %s crashed at cycle %d (%s): %v",
+		e.Kernel, e.System, e.Cycle, e.Subsystem, e.Err)
+}
+
+func (e *SimError) Unwrap() error { return e.Err }
+
+// recoverable maps a panic value to its owning subsystem when it is one of
+// the typed invariant errors Run recovers. Anything else — a plain string
+// panic, an assertion in the circuit model — is a simulator bug, not a data
+// condition, and stays a panic (internal/sweep still converts it into a
+// cell error at its own boundary).
+func recoverable(p any) (error, string) {
+	err, ok := p.(error)
+	if !ok {
+		return nil, ""
+	}
+	var accessErr *mem.AccessError
+	if errors.As(err, &accessErr) {
+		return accessErr, "mem"
+	}
+	var cycleErr *uprog.CycleLimitError
+	if errors.As(err, &cycleErr) {
+		return cycleErr, "uprog"
+	}
+	return nil, ""
+}

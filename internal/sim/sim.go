@@ -34,6 +34,13 @@ const (
 type Config struct {
 	Kind Kind
 	N    int
+
+	// MaxUProgCycles is the per-micro-program watchdog budget for EVE
+	// systems; zero selects uprog.DefaultMaxCycles. A tripped watchdog
+	// panics with a *uprog.CycleLimitError, which Run recovers into a
+	// *SimError. It does not contribute to Name(): two configs differing
+	// only in the watchdog simulate the same system.
+	MaxUProgCycles int
 }
 
 // Name renders the paper's system label.
@@ -116,6 +123,22 @@ func (s *sink) Emit(ev isa.Event) {
 // the grid, and TestConcurrentRunsArePure plus the determinism test in
 // internal/sweep enforce it under the race detector.
 func Run(cfg Config, k *workloads.Kernel) Result {
+	res, _ := run(cfg, k, nil)
+	return res
+}
+
+// RunDatapath simulates one kernel on one system with the vector unit's
+// execution re-routed onto an alternate substrate: newDP is called with the
+// system's hardware vector length and the returned datapath is attached to
+// the ISA builder (isa.Builder.SetDatapath). The second return value is the
+// final flat-memory checksum when the run completed (zero on a crash) —
+// the silent-data-corruption signal fault campaigns compare against a
+// fault-free baseline. A nil newDP behaves exactly like Run.
+func RunDatapath(cfg Config, k *workloads.Kernel, newDP func(hwvl int) isa.Datapath) (Result, uint64) {
+	return run(cfg, k, newDP)
+}
+
+func run(cfg Config, k *workloads.Kernel, newDP func(hwvl int) isa.Datapath) (res Result, sum uint64) {
 	h := mem.NewHierarchy()
 	flat := mem.NewFlat(64 << 20)
 
@@ -130,7 +153,29 @@ func Run(cfg Config, k *workloads.Kernel) Result {
 	}
 	core := cpu.New(coreCfg, h)
 
-	res := Result{System: cfg.Name(), Kernel: k.Name}
+	res = Result{System: cfg.Name(), Kernel: k.Name}
+
+	// Fault-reachable invariants — a wild memory access, the micro-program
+	// watchdog — panic with typed errors; convert those into a recoverable
+	// per-cell SimError carrying the abort cycle. Anything else is a
+	// simulator bug and keeps panicking.
+	defer func() {
+		if p := recover(); p != nil {
+			err, subsystem := recoverable(p)
+			if err == nil {
+				panic(p)
+			}
+			res.Err = &SimError{
+				System:    res.System,
+				Kernel:    res.Kernel,
+				Cycle:     core.Now(),
+				Subsystem: subsystem,
+				Err:       err,
+			}
+			sum = 0
+		}
+	}()
+
 	var engine vengine.Engine
 	var eveEng *eve.Engine
 	vector := true
@@ -146,13 +191,18 @@ func Run(cfg Config, k *workloads.Kernel) Result {
 		engine = vengine.NewDV(vengine.DefaultDVConfig(), h.L2)
 		hwvl = engine.HWVL()
 	case SysO3EVE:
-		eveEng = eve.New(eve.DefaultConfig(cfg.N), h.LLC)
+		ecfg := eve.DefaultConfig(cfg.N)
+		ecfg.MaxUProgCycles = cfg.MaxUProgCycles
+		eveEng = eve.New(ecfg, h.LLC)
 		eveEng.Spawn(h.SpawnEVE(), 0)
 		engine = eveEng
 		hwvl = eveEng.HWVL()
 	}
 
 	b := isa.NewBuilder(flat, max(hwvl, 1), &sink{core: core, engine: engine})
+	if newDP != nil {
+		b.SetDatapath(newDP(max(hwvl, 1)))
+	}
 	check := k.Run(b, vector)
 	res.Err = check()
 	res.Mix = b.Mix()
@@ -171,7 +221,10 @@ func Run(cfg Config, k *workloads.Kernel) Result {
 		res.EnergyEq = eveEng.EnergyReadEq()
 	}
 	res.LLC = h.LLC.Stats()
-	return res
+	if newDP != nil {
+		sum = flat.Checksum()
+	}
+	return res, sum
 }
 
 // RunEVE simulates a kernel on O3+EVE with a custom engine configuration

@@ -46,6 +46,24 @@ type Array struct {
 	senseValid         bool
 
 	stats AccessStats
+
+	// Fault-injection state (internal/faults). seq counts modeled accesses
+	// (reads, writes, bit-line computes) since construction; it is never
+	// reset, so an armed fault fires at a reproducible point of a run.
+	faulty   bool
+	seq      uint64
+	flips    []bitFlip
+	stuck0   bitmat.Row // sense columns stuck at 0
+	stuck1   bitmat.Row // sense columns stuck at 1
+	stkAlloc bool       // stuck rows allocated
+	anyStk   bool       // any stuck column armed
+}
+
+// bitFlip is an armed single-event upset: the cell at (row, col) inverts
+// immediately before access number seq.
+type bitFlip struct {
+	row, col int
+	seq      uint64
 }
 
 // New returns a zeroed array with the given geometry.
@@ -74,12 +92,89 @@ func (a *Array) Stats() AccessStats { return a.stats }
 // ResetStats zeroes the access counters.
 func (a *Array) ResetStats() { a.stats = AccessStats{} }
 
+// ArmBitFlip arms a transient single-event upset: immediately before the
+// array's seq-th modeled access (0-based; reads, writes and bit-line computes
+// all count), the stored bit at (row, col) inverts. The corruption is a state
+// change in the cell and persists until the row is rewritten. Multiple flips
+// may be armed; each fires at most once.
+func (a *Array) ArmBitFlip(row, col int, seq uint64) {
+	a.flips = append(a.flips, bitFlip{row: row, col: col, seq: seq})
+	a.faulty = true
+}
+
+// SetColumnStuck forces sense-amplifier column col to read v: every Read and
+// every bit-line compute reports bit v in that column (and its complement on
+// the inverted outputs), regardless of the stored data. The cells themselves
+// are unaffected, as are the transposed DTU helpers StoreUint32/LoadUint32,
+// which model the separate data port.
+func (a *Array) SetColumnStuck(col int, v bool) {
+	if !a.stkAlloc {
+		a.stuck0 = bitmat.NewRow(a.Cols())
+		a.stuck1 = bitmat.NewRow(a.Cols())
+		a.stkAlloc = true
+	}
+	if v {
+		a.stuck1.SetBit(col, true)
+	} else {
+		a.stuck0.SetBit(col, true)
+	}
+	a.faulty = true
+	a.anyStk = true
+}
+
+// ClearFaults disarms every fault. The access sequence counter keeps
+// counting, and corruption already written to cells remains.
+func (a *Array) ClearFaults() {
+	a.flips = nil
+	if a.anyStk {
+		a.stuck0.Zero()
+		a.stuck1.Zero()
+	}
+	a.anyStk = false
+	a.faulty = false
+}
+
+// Accesses reports the number of modeled accesses (reads + writes + bit-line
+// computes) performed since construction. Fault sites are addressed in this
+// sequence space: ArmBitFlip's seq refers to the access index this counter
+// will hold when the fault fires.
+func (a *Array) Accesses() uint64 { return a.seq }
+
+// tick advances the access sequence and fires any bit flips armed for the
+// access that is about to execute.
+func (a *Array) tick() {
+	if a.faulty && len(a.flips) > 0 {
+		kept := a.flips[:0]
+		for _, f := range a.flips {
+			if f.seq == a.seq {
+				a.mat.SetBit(f.row, f.col, !a.mat.Bit(f.row, f.col))
+			} else {
+				kept = append(kept, f)
+			}
+		}
+		a.flips = kept
+	}
+	a.seq++
+}
+
+// applyStuck forces the stuck sense columns in a positive-sense output row.
+func (a *Array) applyStuck(r bitmat.Row) {
+	if !a.anyStk {
+		return
+	}
+	r.AndNot(r, a.stuck0)
+	r.Or(r, a.stuck1)
+}
+
 // Read performs a normal (differential) SRAM read of wordline row, returning
 // a snapshot of its contents.
 func (a *Array) Read(row int) bitmat.Row {
+	a.tick()
 	a.stats.Reads++
 	a.senseValid = false
-	return a.mat.Row(row).Clone()
+	v := a.mat.Row(row).Clone()
+	a.applyStuck(v)
+	return v
 }
 
 // Peek returns the live contents of a wordline without modeling an access.
@@ -88,6 +183,7 @@ func (a *Array) Peek(row int) bitmat.Row { return a.mat.Row(row) }
 
 // Write performs a full-width SRAM write of data into wordline row.
 func (a *Array) Write(row int, data bitmat.Row) {
+	a.tick()
 	a.stats.Writes++
 	a.senseValid = false
 	a.mat.WriteRow(row, data)
@@ -96,6 +192,7 @@ func (a *Array) Write(row int, data bitmat.Row) {
 // WriteMasked writes data into wordline row only at columns where mask is
 // set, modeling per-column write enables.
 func (a *Array) WriteMasked(row int, data, mask bitmat.Row) {
+	a.tick()
 	a.stats.Writes++
 	a.senseValid = false
 	a.mat.WriteRowMasked(row, data, mask)
@@ -107,10 +204,15 @@ func (a *Array) WriteMasked(row int, data, mask bitmat.Row) {
 // and=or=row and nand=nor=complement — the idiom used to read a row's
 // complement without extra hardware.
 func (a *Array) BitLineCompute(ra, rb int) {
+	a.tick()
 	a.stats.BLCs++
 	ra2, rb2 := a.mat.Row(ra), a.mat.Row(rb)
 	a.and.And(ra2, rb2)
 	a.or.Or(ra2, rb2)
+	// Stuck sense columns force both single-ended outputs; the inverted
+	// outputs are derived downstream and carry the complement.
+	a.applyStuck(a.and)
+	a.applyStuck(a.or)
 	a.nand.Not(a.and)
 	a.nor.Not(a.or)
 	a.senseValid = true

@@ -1,22 +1,25 @@
-// Package sweep runs the (kernel, system) simulation grid of Fig 6 /
-// Table IV concurrently on a bounded pool of worker goroutines.
+// Package sweep runs grids of independent simulations concurrently on a
+// bounded pool of worker goroutines.
 //
-// Every cell of the grid is one independent simulation: sim.Run builds all
-// of its state — memory hierarchy, core model, vector engine, workload
-// inputs — per call and shares nothing mutable across calls (the purity
-// contract documented on sim.Run). The grid is therefore embarrassingly
-// parallel, and Matrix exploits that while keeping the output *identical*
-// to the serial sim.Matrix: each worker writes its sim.Result into the
-// cell's pre-assigned [kernel][system] slot, so neither the worker count
-// nor the completion order can influence the assembled matrix. The
-// determinism regression test in sweep_test.go holds this invariant, under
-// the race detector, across several worker counts.
+// Every cell of a grid is one independent simulation: sim.Run builds all of
+// its state — memory hierarchy, core model, vector engine, workload inputs —
+// per call and shares nothing mutable across calls (the purity contract
+// documented on sim.Run). Grids are therefore embarrassingly parallel, and
+// ForEach exploits that while keeping the output *identical* to a serial
+// loop: each worker writes its sim.Result into the cell's pre-assigned slot,
+// so neither the worker count nor the completion order can influence the
+// assembled results. The determinism regression test in sweep_test.go holds
+// this invariant, under the race detector, across several worker counts.
 //
-// Beyond the pool itself, Matrix adds the sweep plumbing the serial loop
-// lacked: a pluggable Observer reporting per-cell wall time and aggregate
-// progress, early abort on the first validation failure, and per-cell
-// panic recovery that converts a crashed simulation into that cell's
-// Result.Err instead of killing the whole sweep.
+// Two grid shapes ride on the pool: Matrix, the (kernel, system) sweep of
+// Fig 6 / Table IV, and the fault-campaign grids of internal/faults, which
+// schedule one cell per (kernel, fault site). Beyond the pool itself the
+// package adds the sweep plumbing a serial loop lacks: a pluggable Observer
+// reporting per-cell wall time and aggregate progress, early abort on the
+// first validation failure (with partial results for the cells that did
+// run), per-cell retry-once for campaigns that want to shrug off transient
+// host trouble, and per-cell panic recovery that converts a crashed
+// simulation into that cell's Result.Err instead of killing the whole sweep.
 package sweep
 
 import (
@@ -35,6 +38,19 @@ import (
 // ErrSkipped marks a cell that was never simulated because the sweep
 // aborted on an earlier validation failure (Options.AbortOnError).
 var ErrSkipped = errors.New("sweep: cell skipped after early abort")
+
+// PanicError is a cell's recovered panic: the simulation crashed in a way
+// sim.Run does not convert into a typed sim.SimError (a simulator bug
+// rather than a modeled fault path). The first line of Error() is stable
+// and machine-comparable; the stack is host-dependent diagnostics.
+type PanicError struct {
+	Value string // rendered panic value
+	Stack []byte // stack captured at recovery
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("simulation panicked: %s\n%s", e.Value, e.Stack)
+}
 
 // Observer receives sweep progress events. CellDone is invoked from worker
 // goroutines, possibly concurrently; implementations must be safe for
@@ -61,6 +77,12 @@ type Options struct {
 	// cells are skipped depends on scheduling — determinism holds only for
 	// sweeps that run to completion.
 	AbortOnError bool
+	// RetryOnce re-runs a cell whose first attempt produced a non-nil
+	// Result.Err; the second outcome stands. Deterministic failures fail
+	// twice identically, so retries cannot perturb a deterministic grid —
+	// the policy exists for long campaigns where a cell's failure may be
+	// host trouble rather than simulated behaviour.
+	RetryOnce bool
 }
 
 func (o Options) workers() int {
@@ -70,23 +92,29 @@ func (o Options) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// Matrix simulates every kernel on every system and returns results indexed
-// [kernel][system], exactly like the serial sim.Matrix. The returned error
-// is the first cell error in row-major grid order (nil if every cell
-// validated); the full matrix is returned alongside it so callers can
-// report every failure, not just the first.
-func Matrix(systems []sim.Config, kernels []*workloads.Kernel, opts Options) ([][]sim.Result, error) {
-	out := make([][]sim.Result, len(kernels))
-	for i := range out {
-		out[i] = make([]sim.Result, len(systems))
-	}
-	total := len(kernels) * len(systems)
+// Cell is one schedulable simulation of a grid: a closure plus the labels
+// observers and error reports identify it by. Run must obey the sim.Run
+// purity contract (no shared mutable state across cells).
+type Cell struct {
+	Kernel string
+	System string
+	Run    func() sim.Result
+}
+
+// ForEach runs every cell on the worker pool and returns the results in
+// cell order, regardless of worker count or completion order. The returned
+// error is the first root failure in cell order (nil if every cell
+// validated; ErrSkipped cells are only a symptom of an abort and are
+// reported only if no root failure exists). The full result slice is
+// returned alongside any error so callers can report every failure.
+func ForEach(cells []Cell, opts Options) ([]sim.Result, error) {
+	out := make([]sim.Result, len(cells))
+	total := len(cells)
 	if total == 0 {
 		return out, nil
 	}
 
-	type cell struct{ ki, si int }
-	jobs := make(chan cell)
+	jobs := make(chan int)
 	var (
 		wg      sync.WaitGroup
 		done    atomic.Int64
@@ -97,20 +125,23 @@ func Matrix(systems []sim.Config, kernels []*workloads.Kernel, opts Options) ([]
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for c := range jobs {
-				k, s := kernels[c.ki], systems[c.si]
+			for i := range jobs {
+				c := cells[i]
 				if opts.AbortOnError && aborted.Load() {
-					out[c.ki][c.si] = sim.Result{System: s.Name(), Kernel: k.Name, Err: ErrSkipped}
+					out[i] = sim.Result{System: c.System, Kernel: c.Kernel, Err: ErrSkipped}
 					continue
 				}
 				if opts.Observer != nil {
-					opts.Observer.CellStart(k.Name, s.Name())
+					opts.Observer.CellStart(c.Kernel, c.System)
 				}
 				// Wall time here is observer telemetry only — it never touches
 				// a Result, so the determinism contract is unaffected.
 				start := time.Now() //evelint:allow simpurity -- progress telemetry, not simulated state
-				r := runCell(s, k)
-				out[c.ki][c.si] = r
+				r := runCell(c)
+				if r.Err != nil && opts.RetryOnce {
+					r = runCell(c)
+				}
+				out[i] = r
 				if r.Err != nil {
 					aborted.Store(true)
 				}
@@ -121,46 +152,67 @@ func Matrix(systems []sim.Config, kernels []*workloads.Kernel, opts Options) ([]
 			}
 		}()
 	}
-	for ki := range kernels {
-		for si := range systems {
-			jobs <- cell{ki, si}
-		}
+	for i := range cells {
+		jobs <- i
 	}
 	close(jobs)
 	wg.Wait()
 
-	// Report the first *root* failure in row-major order; a skipped cell is
-	// only a symptom of an abort and never the headline error.
+	// Report the first *root* failure in cell order; a skipped cell is only
+	// a symptom of an abort and never the headline error.
 	var skipErr error
-	for ki := range kernels {
-		for si := range systems {
-			err := out[ki][si].Err
-			if err == nil {
-				continue
-			}
-			wrapped := fmt.Errorf("sweep: %s on %s: %w", kernels[ki].Name, systems[si].Name(), err)
-			if !errors.Is(err, ErrSkipped) {
-				return out, wrapped
-			}
-			if skipErr == nil {
-				skipErr = wrapped
-			}
+	for i := range cells {
+		err := out[i].Err
+		if err == nil {
+			continue
+		}
+		wrapped := fmt.Errorf("sweep: %s on %s: %w", cells[i].Kernel, cells[i].System, err)
+		if !errors.Is(err, ErrSkipped) {
+			return out, wrapped
+		}
+		if skipErr == nil {
+			skipErr = wrapped
 		}
 	}
 	return out, skipErr
 }
 
-// runCell simulates one cell, converting a panicking simulation into a
-// Result carrying the panic (and its stack) as the cell's error.
-func runCell(s sim.Config, k *workloads.Kernel) (r sim.Result) {
+// Matrix simulates every kernel on every system and returns results indexed
+// [kernel][system], exactly like the serial sim.Matrix. The returned error
+// is the first cell error in row-major grid order (nil if every cell
+// validated); the full matrix is returned alongside it so callers can
+// report every failure, not just the first.
+func Matrix(systems []sim.Config, kernels []*workloads.Kernel, opts Options) ([][]sim.Result, error) {
+	cells := make([]Cell, 0, len(kernels)*len(systems))
+	for _, k := range kernels {
+		for _, s := range systems {
+			k, s := k, s
+			cells = append(cells, Cell{
+				Kernel: k.Name,
+				System: s.Name(),
+				Run:    func() sim.Result { return sim.Run(s, k) },
+			})
+		}
+	}
+	flat, err := ForEach(cells, opts)
+	out := make([][]sim.Result, len(kernels))
+	for i := range out {
+		out[i] = flat[i*len(systems) : (i+1)*len(systems)]
+	}
+	return out, err
+}
+
+// runCell runs one cell, converting a panicking simulation into a Result
+// carrying the panic (and its stack) as the cell's error.
+func runCell(c Cell) (r sim.Result) {
 	defer func() {
 		if p := recover(); p != nil {
 			r = sim.Result{
-				System: s.Name(),
-				Kernel: k.Name,
-				Err:    fmt.Errorf("simulation panicked: %v\n%s", p, debug.Stack()),
+				System: c.System,
+				Kernel: c.Kernel,
+				Err:    &PanicError{Value: fmt.Sprint(p), Stack: debug.Stack()},
 			}
 		}
 	}()
-	return sim.Run(s, k)
+	return c.Run()
 }

@@ -214,3 +214,55 @@ func TestEmptyGrid(t *testing.T) {
 		t.Fatalf("kernel-less sweep = (%v, %v), want ([], nil)", got, err)
 	}
 }
+
+// TestRetryOnce: RetryOnce re-runs a failed cell exactly once. A transient
+// failure clears on the retry; a deterministic failure burns its single
+// retry and stays failed; a healthy cell never reruns.
+func TestRetryOnce(t *testing.T) {
+	var attempts [3]int
+	result := func(err error) sim.Result {
+		return sim.Result{Kernel: "k", System: "s", Cycles: 1, Err: err}
+	}
+	cells := []Cell{
+		{Kernel: "transient", System: "s", Run: func() sim.Result {
+			attempts[0]++
+			if attempts[0] == 1 {
+				return result(errors.New("flaky host"))
+			}
+			return result(nil)
+		}},
+		{Kernel: "deterministic", System: "s", Run: func() sim.Result {
+			attempts[1]++
+			return result(errors.New("always fails"))
+		}},
+		{Kernel: "healthy", System: "s", Run: func() sim.Result {
+			attempts[2]++
+			return result(nil)
+		}},
+	}
+	got, err := ForEach(cells, Options{Workers: 1, RetryOnce: true})
+	if err == nil {
+		t.Fatal("sweep with a deterministic failure returned nil error")
+	}
+	if attempts != [3]int{2, 2, 1} {
+		t.Errorf("attempts = %v, want [2 2 1]", attempts)
+	}
+	if got[0].Err != nil {
+		t.Errorf("transient cell still failed after retry: %v", got[0].Err)
+	}
+	if got[1].Err == nil {
+		t.Error("deterministic failure cleared without cause")
+	}
+	if got[2].Err != nil {
+		t.Errorf("healthy cell failed: %v", got[2].Err)
+	}
+
+	// Without RetryOnce nothing reruns.
+	attempts = [3]int{}
+	if _, err := ForEach(cells, Options{Workers: 1}); err == nil {
+		t.Fatal("expected the transient failure to surface without retries")
+	}
+	if attempts != [3]int{1, 1, 1} {
+		t.Errorf("attempts without RetryOnce = %v, want [1 1 1]", attempts)
+	}
+}

@@ -35,14 +35,22 @@ type Layout struct {
 	Scratch int // scratch registers available to micro-programs
 }
 
+// BroadcastScratch is the scratch register reserved for staging a broadcast
+// scalar operand (.vx prologue). The ROM generators use scratch 0..5 freely
+// — division is the hungriest, needing all six — so the broadcast operand
+// must live above them to survive until the macro-operation reads it.
+const BroadcastScratch = 6
+
 // NewLayout returns the standard layout for parallelization factor n: 32
-// architectural registers plus 6 scratch registers (division is the hungriest
-// micro-program, needing five working values plus a constant staging row).
+// architectural registers plus 7 scratch registers — six working registers
+// for the ROM generators (division is the hungriest micro-program, needing
+// five working values plus a constant staging row) and one reserved
+// broadcast staging register (BroadcastScratch).
 func NewLayout(n int) Layout {
 	if n <= 0 || 32%n != 0 {
 		panic(fmt.Sprintf("uprog: invalid parallelization factor %d", n))
 	}
-	return Layout{N: n, Segs: 32 / n, Regs: 32, Scratch: 6}
+	return Layout{N: n, Segs: 32 / n, Regs: 32, Scratch: 7}
 }
 
 // RegRow returns the wordline of register r's segment s (segment 0 holds the

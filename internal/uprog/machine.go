@@ -9,9 +9,26 @@ import (
 	"repro/internal/uop"
 )
 
-// maxCycles bounds a single micro-program run; exceeding it indicates a
-// sequencing bug (runaway loop), which is a panic, not an error.
-const maxCycles = 1 << 22
+// DefaultMaxCycles bounds a single micro-program run when the machine's
+// MaxCycles field is zero; exceeding the bound indicates a sequencing bug
+// (runaway loop) or a fault-corrupted sequencer.
+const DefaultMaxCycles = 1 << 22
+
+// CycleLimitError reports a micro-program exceeding its cycle budget. The
+// machine panics with a *CycleLimitError so the abort unwinds through the
+// circuit stack like any other invariant violation; sim.Run recovers it
+// into a typed SimError, making a watchdog trip a per-cell diagnosis rather
+// than a dead sweep.
+type CycleLimitError struct {
+	Program string // micro-program name
+	PC      int    // program counter at abort
+	Limit   int    // cycle budget that was exceeded
+}
+
+func (e *CycleLimitError) Error() string {
+	return fmt.Sprintf("uprog: %s exceeded %d cycles (runaway loop at pc %d)",
+		e.Program, e.Limit, e.PC)
+}
 
 // Machine is the execution half of a VSU bound to one circuit stack: the
 // micro-program counter, the 12 shared counters with their zero and
@@ -31,6 +48,10 @@ const maxCycles = 1 << 22
 type Machine struct {
 	Layout Layout
 	Stack  *circuits.Stack
+
+	// MaxCycles is the per-run watchdog budget; zero selects
+	// DefaultMaxCycles. Exceeding it panics with a *CycleLimitError.
+	MaxCycles int
 
 	vals   [uop.NumCounters]int
 	inits  [uop.NumCounters]int
@@ -89,11 +110,15 @@ func (m *Machine) CountCycles(p *uop.Program) int {
 }
 
 func (m *Machine) exec(p *uop.Program, env *circuits.Env, datapath bool) int {
+	limit := m.MaxCycles
+	if limit <= 0 {
+		limit = DefaultMaxCycles
+	}
 	cycles := 0
 	pc := 0
 	for pc < len(p.Tuples) {
-		if cycles >= maxCycles {
-			panic(fmt.Sprintf("uprog: %s exceeded %d cycles (runaway loop at pc %d)", p.Name, maxCycles, pc))
+		if cycles >= limit {
+			panic(&CycleLimitError{Program: p.Name, PC: pc, Limit: limit})
 		}
 		t := &p.Tuples[pc]
 		cycles++

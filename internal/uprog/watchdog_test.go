@@ -1,0 +1,64 @@
+package uprog
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/uop"
+)
+
+// runawayProgram is a sequencer bug in miniature: tuple 0 jumps to itself
+// forever.
+func runawayProgram() *uop.Program {
+	return &uop.Program{
+		Name: "runaway",
+		Tuples: []uop.Tuple{
+			{Ctl: uop.Ctl{Kind: uop.LJmp, Target: 0}},
+		},
+	}
+}
+
+// TestWatchdogAbortsRunaway: a micro-program that never returns trips the
+// cycle-budget watchdog with a typed *CycleLimitError carrying the program
+// name, abort PC, and the budget that was exceeded.
+func TestWatchdogAbortsRunaway(t *testing.T) {
+	m := NewMachine(4, testElems)
+	m.MaxCycles = 100
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("runaway micro-program did not trip the watchdog")
+		}
+		err, ok := r.(error)
+		if !ok {
+			t.Fatalf("watchdog panicked with %T, want error", r)
+		}
+		var cle *CycleLimitError
+		if !errors.As(err, &cle) {
+			t.Fatalf("watchdog panicked with %v, want *CycleLimitError", err)
+		}
+		if cle.Program != "runaway" {
+			t.Errorf("Program = %q, want runaway", cle.Program)
+		}
+		if cle.Limit != 100 {
+			t.Errorf("Limit = %d, want 100", cle.Limit)
+		}
+		if cle.PC != 0 {
+			t.Errorf("PC = %d, want 0 (the self-loop tuple)", cle.PC)
+		}
+	}()
+	m.Run(runawayProgram(), nil)
+}
+
+// TestWatchdogDefaultBudget: a zero MaxCycles selects DefaultMaxCycles, and
+// well-formed micro-programs run far below it.
+func TestWatchdogDefaultBudget(t *testing.T) {
+	m := NewMachine(4, testElems)
+	l := m.Layout
+	m.StoreElement(1, 0, 21)
+	m.StoreElement(2, 0, 21)
+	m.Run(Add(l, 3, 1, 2, false), nil)
+	if got := m.LoadElement(3, 0); got != 42 {
+		t.Fatalf("add under default watchdog = %d, want 42", got)
+	}
+}
