@@ -305,6 +305,40 @@ func BenchmarkAblationSpawn(b *testing.B) {
 	}
 }
 
+// BenchmarkSimRunProbeOff is the probe layer's zero-overhead baseline: the
+// plain sim.Run fast path with no tracer and no registry snapshot consumers.
+// BenchmarkSimRunTracedNil must match it — RunTraced(nil) walks the same
+// nil-emitter branches — so any regression here means probe checks leaked
+// into the hot loop (simulator engineering, not paper data).
+func BenchmarkSimRunProbeOff(b *testing.B) {
+	k := workloads.NewVVAdd(1 << 13)
+	cfg := sim.Config{Kind: sim.SysO3EVE, N: 8}
+	var r sim.Result
+	for i := 0; i < b.N; i++ {
+		r = sim.Run(cfg, k)
+	}
+	if r.Err != nil {
+		b.Fatal(r.Err)
+	}
+	b.ReportMetric(float64(r.Cycles), "cycles")
+}
+
+// BenchmarkSimRunTracedNil measures RunTraced with a nil tracer: the
+// disabled-emitter path plus the end-of-run checksum. Compare against
+// BenchmarkSimRunProbeOff to bound the cost of having probes compiled in.
+func BenchmarkSimRunTracedNil(b *testing.B) {
+	k := workloads.NewVVAdd(1 << 13)
+	cfg := sim.Config{Kind: sim.SysO3EVE, N: 8}
+	var r sim.Result
+	for i := 0; i < b.N; i++ {
+		r = sim.RunTraced(cfg, k, nil)
+	}
+	if r.Err != nil {
+		b.Fatal(r.Err)
+	}
+	b.ReportMetric(float64(r.Cycles), "cycles")
+}
+
 // BenchmarkMemoryHierarchy measures the raw simulator throughput of the
 // timed cache model (simulator engineering, not paper data).
 func BenchmarkMemoryHierarchy(b *testing.B) {

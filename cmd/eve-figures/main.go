@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	ieve "repro/internal/eve"
+	"repro/internal/probe"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/sweep"
@@ -40,10 +41,44 @@ type jsonResult struct {
 	SpawnCost     int64            `json:"spawn_cost,omitempty"`
 	EnergyReadEq  float64          `json:"energy_read_eq,omitempty"`
 	Breakdown     map[string]int64 `json:"breakdown,omitempty"`
+	// Mem carries the per-level memory-hierarchy counters (l1d, l2, llc,
+	// dram) pulled from the run's stats registry.
+	Mem map[string]jsonMemLevel `json:"mem,omitempty"`
 	// Error carries the cell's validation failure (or recovered panic),
 	// truncated to its stable first line. A cell with an error still emits
 	// its row, so one bad cell never hides the rest of the matrix.
 	Error string `json:"error,omitempty"`
+}
+
+// jsonMemLevel is one memory-hierarchy level's counters in a cell.
+type jsonMemLevel struct {
+	Accesses   int64   `json:"accesses"`
+	Misses     int64   `json:"misses,omitempty"`
+	MissRate   float64 `json:"miss_rate,omitempty"`
+	Writebacks int64   `json:"writebacks,omitempty"`
+	MSHRStall  int64   `json:"mshr_stall_cycles,omitempty"`
+}
+
+// memJSON extracts the hierarchy levels from a run's stats snapshot (nil for
+// crashed cells, whose snapshot is empty).
+func memJSON(st probe.Stats) map[string]jsonMemLevel {
+	if len(st) == 0 {
+		return nil
+	}
+	out := make(map[string]jsonMemLevel, 4)
+	for _, lvl := range []string{"l1d", "l2", "llc"} {
+		var m jsonMemLevel
+		m.Accesses, _ = st.Int(lvl + ".accesses")
+		m.Misses, _ = st.Int(lvl + ".misses")
+		m.MissRate, _ = st.Float(lvl + ".miss_rate")
+		m.Writebacks, _ = st.Int(lvl + ".writebacks")
+		m.MSHRStall, _ = st.Int(lvl + ".mshr.stall_cycles")
+		out[lvl] = m
+	}
+	var d jsonMemLevel
+	d.Accesses, _ = st.Int("dram.accesses")
+	out["dram"] = d
+	return out
 }
 
 // firstLine truncates an error rendering to its first line, dropping
@@ -90,6 +125,7 @@ func buildJSON(results [][]sim.Result) ([]jsonResult, error) {
 				VMUStallFrac:  r.VMUStall,
 				SpawnCost:     r.SpawnCost,
 				EnergyReadEq:  r.EnergyEq,
+				Mem:           memJSON(r.Stats),
 			}
 			if io > 0 && r.Cycles > 0 {
 				jr.SpeedupVsIO = io / float64(r.Cycles)

@@ -1,104 +1,165 @@
-// Command eve-trace runs a benchmark kernel on an EVE design and dumps the
-// per-instruction timeline as CSV: disassembly, commit time, VCU dispatch
-// slot, engine clock, and any core-blocking time — the raw material for
-// pipeline-style analysis of the Fig 7 categories.
+// Command eve-trace runs a benchmark kernel on one simulated system with the
+// probe tracer attached and renders the collected event stream: a
+// per-instruction timeline (text or CSV) or a Perfetto-loadable Chrome
+// trace-event JSON with one track per component (core, cache levels, DRAM,
+// eve.vsu/vmu/dtu) — the raw material for pipeline-style analysis of the
+// Fig 7 categories.
 //
 //	eve-trace -n=8 -kernel=pathfinder -limit=40
 //	eve-trace -n=1 -kernel=mmult -csv > trace.csv
+//	eve-trace -system=O3+EVE-8 -kernel=vvadd -elems=256 -perfetto -o trace.json
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
-	"repro/internal/cpu"
 	ieve "repro/internal/eve"
-	"repro/internal/isa"
-	"repro/internal/mem"
+	"repro/internal/probe"
+	"repro/internal/sim"
 	"repro/internal/workloads"
 )
 
-type traceSink struct {
-	core   *cpu.Core
-	engine *ieve.Engine
+// options bundles the command's flags so the rendering pipeline is testable
+// end to end without exec'ing the binary.
+type options struct {
+	system   string // system name (sim.AllSystems naming); empty = O3+EVE-n
+	n        int    // EVE parallelization factor when system is empty
+	kernel   string
+	elems    int // nonzero: run vvadd at this element count instead of Small()
+	limit    int // max timeline lines in text/CSV output (0 = all)
+	csv      bool
+	perfetto bool
 }
 
-func (s *traceSink) Emit(ev isa.Event) {
-	switch ev.Kind {
-	case isa.EvScalar:
-		s.core.Ops(ev.N)
-	case isa.EvScalarMul:
-		s.core.Muls(ev.N)
-	case isa.EvLoad:
-		s.core.Load(ev.Addr)
-	case isa.EvStore:
-		s.core.Store(ev.Addr)
-	case isa.EvVector:
-		if block := s.engine.Handle(ev.V, s.core.Now()); block > 0 {
-			s.core.AdvanceTo(block)
+// run simulates and renders one trace to w.
+func run(opts options, w io.Writer) error {
+	cfg, err := resolveSystem(opts)
+	if err != nil {
+		return err
+	}
+	k, err := resolveKernel(opts)
+	if err != nil {
+		return err
+	}
+
+	col := &probe.Collect{}
+	res := sim.RunTraced(cfg, k, col)
+	if res.Err != nil {
+		return fmt.Errorf("validation failed: %w", res.Err)
+	}
+
+	if opts.perfetto {
+		return probe.WritePerfetto(w, res.System+" "+res.Kernel, col.Events)
+	}
+	return writeTimeline(w, opts, res, col.Events)
+}
+
+// resolveSystem picks the simulated system: an explicit -system name wins,
+// otherwise the legacy -n selects O3+EVE-n.
+func resolveSystem(opts options) (sim.Config, error) {
+	if opts.system == "" {
+		return sim.Config{Kind: sim.SysO3EVE, N: opts.n}, nil
+	}
+	for _, c := range sim.AllSystems() {
+		if strings.EqualFold(c.Name(), opts.system) {
+			return c, nil
 		}
 	}
+	return sim.Config{}, fmt.Errorf("unknown system %q", opts.system)
 }
 
-func main() {
-	n := flag.Int("n", 8, "EVE parallelization factor")
-	kernel := flag.String("kernel", "vvadd", "benchmark kernel")
-	limit := flag.Int("limit", 50, "max trace lines to print (0 = all)")
-	csv := flag.Bool("csv", false, "machine-readable CSV output")
-	flag.Parse()
-
-	ks := workloads.Small()
-	k, err := workloads.ByName(ks, *kernel)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "eve-trace:", err)
-		os.Exit(1)
+func resolveKernel(opts options) (*workloads.Kernel, error) {
+	if opts.elems > 0 {
+		if opts.kernel != "vvadd" {
+			return nil, fmt.Errorf("-elems only applies to -kernel=vvadd (got %q)", opts.kernel)
+		}
+		return workloads.NewVVAdd(opts.elems), nil
 	}
+	return workloads.ByName(workloads.Small(), opts.kernel)
+}
 
-	h := mem.NewHierarchy()
-	core := cpu.New(cpu.O3Config, h)
-	engine := ieve.New(ieve.DefaultConfig(*n), h.LLC)
-	engine.Spawn(h.SpawnEVE(), 0)
-
+// writeTimeline renders the per-instruction commit stream (vector-engine
+// KInstr events) as the legacy text/CSV table, followed by the Fig 7
+// summary in text mode.
+func writeTimeline(w io.Writer, opts options, res sim.Result, events []probe.Event) error {
+	bw := bufio.NewWriter(w)
+	if opts.csv {
+		fmt.Fprintln(bw, "seq,asm,vl,arrival,vcu,vsu_clock,core_block")
+	}
 	printed := 0
-	if *csv {
-		fmt.Println("seq,asm,vl,arrival,vcu,vsu_clock,core_block")
-	}
-	engine.SetTracer(func(te ieve.TraceEntry) {
-		if *limit > 0 && printed >= *limit {
-			return
+	for i := range events {
+		ev := &events[i]
+		if ev.Kind != probe.KInstr || (ev.Comp != "eve.vsu" && ev.Comp != "dv") {
+			continue
+		}
+		if opts.limit > 0 && printed >= opts.limit {
+			break
 		}
 		printed++
-		if *csv {
-			fmt.Printf("%d,%q,%d,%d,%d,%d,%d\n",
-				te.Seq, te.Asm, te.VL, te.Arrival, te.VCU, te.VSUClock, te.Block)
+		if opts.csv {
+			fmt.Fprintf(bw, "%d,%q,%d,%d,%d,%d,%d\n",
+				ev.Seq, ev.Name, ev.VL, ev.Begin, ev.Aux, ev.End, ev.Aux2)
 		} else {
-			fmt.Printf("%5d  %-34s vl=%-5d commit=%-8d vcu=%-8d vsu=%-8d block=%d\n",
-				te.Seq, te.Asm, te.VL, te.Arrival, te.VCU, te.VSUClock, te.Block)
+			fmt.Fprintf(bw, "%5d  %-34s vl=%-5d commit=%-8d vcu=%-8d vsu=%-8d block=%d\n",
+				ev.Seq, ev.Name, ev.VL, ev.Begin, ev.Aux, ev.End, ev.Aux2)
 		}
-	})
-
-	b := isa.NewBuilder(mem.NewFlat(64<<20), engine.HWVL(), &traceSink{core: core, engine: engine})
-	check := k.Run(b, true)
-	if err := check(); err != nil {
-		fmt.Fprintln(os.Stderr, "eve-trace: validation failed:", err)
-		os.Exit(1)
 	}
-	total := engine.Drain()
-	if c := core.Now(); c > total {
-		total = c
-	}
-	if !*csv {
-		fmt.Printf("\n%s on EVE-%d: %d cycles total", k.Name, *n, total)
-		if *limit > 0 {
-			fmt.Printf(" (first %d instructions shown)", printed)
+	if !opts.csv {
+		fmt.Fprintf(bw, "\n%s on %s: %d cycles total", res.Kernel, res.System, res.Cycles)
+		if opts.limit > 0 {
+			fmt.Fprintf(bw, " (first %d instructions shown)", printed)
 		}
-		fmt.Println()
-		bd := engine.Breakdown()
+		fmt.Fprintln(bw)
+		bd := res.Breakdown
 		for c := ieve.Category(0); c < ieve.NumCategories; c++ {
 			if bd[c] > 0 {
-				fmt.Printf("  %-14s %10d (%.1f%%)\n", c, bd[c], 100*float64(bd[c])/float64(bd.Total()))
+				fmt.Fprintf(bw, "  %-14s %10d (%.1f%%)\n", c, bd[c], 100*float64(bd[c])/float64(bd.Total()))
 			}
 		}
 	}
+	return bw.Flush()
+}
+
+func main() {
+	system := flag.String("system", "", "system to simulate (IO, O3, O3+IV, O3+DV, O3+EVE-n); empty = O3+EVE from -n")
+	n := flag.Int("n", 8, "EVE parallelization factor (when -system is empty)")
+	kernel := flag.String("kernel", "vvadd", "benchmark kernel")
+	elems := flag.Int("elems", 0, "vvadd element count override (0 = standard small input)")
+	limit := flag.Int("limit", 50, "max trace lines to print (0 = all)")
+	csv := flag.Bool("csv", false, "machine-readable CSV output")
+	perfetto := flag.Bool("perfetto", false, "Chrome trace-event JSON output (load in ui.perfetto.dev)")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	opts := options{
+		system: *system, n: *n, kernel: *kernel, elems: *elems,
+		limit: *limit, csv: *csv, perfetto: *perfetto,
+	}
+	var w io.Writer = os.Stdout
+	var f *os.File
+	if *out != "" {
+		var err error
+		if f, err = os.Create(*out); err != nil {
+			fatal(err)
+		}
+		w = f
+	}
+	if err := run(opts, w); err != nil {
+		fatal(err)
+	}
+	if f != nil {
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "eve-trace:", err)
+	os.Exit(1)
 }

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files with the current trace output")
+
+// tinyOpts is the golden configuration: a 256-element vvadd on EVE-8 keeps
+// the full event stream to a few hundred events.
+func tinyOpts() options {
+	return options{system: "O3+EVE-8", kernel: "vvadd", elems: 256, perfetto: true}
+}
+
+// TestPerfettoGolden pins the exact trace bytes for a tiny kernel. A timing
+// model change that legitimately moves events is refreshed with
+//
+//	go test ./cmd/eve-trace -run TestPerfettoGolden -update
+func TestPerfettoGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(tinyOpts(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "vvadd256.perfetto.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the golden file)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("perfetto trace diverges from %s (%d vs %d bytes).\n"+
+			"If the timing-model change is intentional, refresh with -update.", golden, buf.Len(), len(want))
+	}
+}
+
+// TestPerfettoByteIdentical runs the same traced simulation twice and
+// requires byte-identical output — the determinism the CI smoke job diffs.
+func TestPerfettoByteIdentical(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run(tinyOpts(), &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(tinyOpts(), &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two identical traced runs produced different bytes")
+	}
+}
+
+// TestPerfettoParsesWithRequiredKeys validates the trace against the Chrome
+// trace-event contract Perfetto relies on: top-level traceEvents, and ph/pid
+// on every event (plus ts on non-metadata events).
+func TestPerfettoParsesWithRequiredKeys(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(tinyOpts(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	tracks := map[string]bool{}
+	for i, ev := range doc.TraceEvents {
+		ph, ok := ev["ph"].(string)
+		if !ok {
+			t.Fatalf("event %d has no ph: %v", i, ev)
+		}
+		if _, ok := ev["pid"]; !ok {
+			t.Fatalf("event %d has no pid: %v", i, ev)
+		}
+		if ph == "M" {
+			if ev["name"] == "thread_name" {
+				args := ev["args"].(map[string]any)
+				tracks[args["name"].(string)] = true
+			}
+			continue
+		}
+		if _, ok := ev["ts"]; !ok {
+			t.Fatalf("event %d has no ts: %v", i, ev)
+		}
+	}
+	// The EVE-8 run must produce at least the engine's three tracks plus the
+	// core and a cache level.
+	for _, want := range []string{"core", "eve.vsu", "eve.vmu", "eve.dtu", "llc"} {
+		if !tracks[want] {
+			t.Errorf("trace is missing the %q track (have %v)", want, tracks)
+		}
+	}
+}
+
+// TestCSVTimeline smoke-tests the legacy per-instruction table.
+func TestCSVTimeline(t *testing.T) {
+	var buf bytes.Buffer
+	opts := tinyOpts()
+	opts.perfetto = false
+	opts.csv = true
+	if err := run(opts, &buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimRight(buf.Bytes(), "\n"), []byte("\n"))
+	if len(lines) < 2 {
+		t.Fatalf("CSV has %d lines, want header + rows:\n%s", len(lines), buf.String())
+	}
+	if got := string(lines[0]); got != "seq,asm,vl,arrival,vcu,vsu_clock,core_block" {
+		t.Errorf("CSV header = %q", got)
+	}
+}
+
+// TestResolveSystemRejectsUnknown covers the flag-validation path.
+func TestResolveSystemRejectsUnknown(t *testing.T) {
+	if _, err := resolveSystem(options{system: "O3+XYZ"}); err == nil {
+		t.Error("unknown system name was accepted")
+	}
+	cfg, err := resolveSystem(options{system: "o3+dv"})
+	if err != nil || cfg.Name() != "O3+DV" {
+		t.Errorf("case-insensitive lookup: got %v, %v", cfg, err)
+	}
+	if _, err := resolveKernel(options{kernel: "mmult", elems: 64}); err == nil {
+		t.Error("-elems with a non-vvadd kernel was accepted")
+	}
+}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -14,13 +15,19 @@ import (
 	"strings"
 
 	"repro/eve"
+	"repro/internal/probe"
 )
 
 func main() {
 	sysName := flag.String("system", "O3+EVE-8", "system to simulate (IO, O3, O3+IV, O3+DV, O3+EVE-{1,2,4,8,16,32})")
 	kernel := flag.String("kernel", "vvadd", "benchmark kernel (vvadd, mmult, k-means, pathfinder, jacobi-2d, backprop, sw)")
 	baseline := flag.String("baseline", "IO", "baseline system for the speedup report (empty to skip)")
+	statsFmt := flag.String("stats", "", "dump the per-component stats registry: text or json")
 	flag.Parse()
+
+	if *statsFmt != "" && *statsFmt != "text" && *statsFmt != "json" {
+		fatal(fmt.Errorf("unknown -stats format %q (want text or json)", *statsFmt))
+	}
 
 	sys, err := parseSystem(*sysName)
 	if err != nil {
@@ -87,6 +94,39 @@ func main() {
 		fmt.Printf("speedup       %.2fx over %s (%d cycles)\n",
 			res.Speedup(bRes), bRes.System, bRes.Cycles)
 	}
+	if *statsFmt != "" {
+		if err := dumpStats(*statsFmt, res.Stats); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// dumpStats renders the flattened registry snapshot deterministically: the
+// sorted gem5-style text report, or a JSON object (json.Marshal sorts map
+// keys, so both forms are byte-stable across runs).
+func dumpStats(format string, stats map[string]float64) error {
+	if format == "json" {
+		out, err := json.MarshalIndent(stats, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+		return nil
+	}
+	names := make([]string, 0, len(stats))
+	width := 0
+	for name := range stats {
+		names = append(names, name)
+		if len(name) > width {
+			width = len(name)
+		}
+	}
+	sort.Strings(names)
+	fmt.Println("\nstats (per-component registry):")
+	for _, name := range names {
+		fmt.Printf("%-*s  %s\n", width, name, probe.FormatFloat(stats[name]))
+	}
+	return nil
 }
 
 func parseSystem(name string) (eve.System, error) {

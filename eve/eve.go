@@ -126,6 +126,11 @@ type Result struct {
 	VMUStallFraction float64
 	// SpawnCost is the L2 reconfiguration cost charged at EVE spawn (§V-E).
 	SpawnCost int64
+	// Stats is the flattened hierarchical counter snapshot of every simulated
+	// component, keyed by dotted path (core.insts, l2.miss_rate,
+	// eve.breakdown.busy, ...); distributions expand to .count/.sum/.min/
+	// .max/.mean keys. See internal/probe for the naming scheme.
+	Stats map[string]float64
 }
 
 // Simulate runs the benchmark on the system, validating the computation's
@@ -150,6 +155,7 @@ func fromSimResult(r sim.Result) Result {
 		VectorPct:        r.Mix.VectorPct(),
 		VMUStallFraction: r.VMUStall,
 		SpawnCost:        r.SpawnCost,
+		Stats:            r.Stats.Flatten(),
 	}
 	if r.Breakdown.Total() > 0 {
 		out.Breakdown = Breakdown{}

@@ -10,6 +10,7 @@ package cpu
 
 import (
 	"repro/internal/mem"
+	"repro/internal/probe"
 )
 
 // Config parameterizes a core model.
@@ -66,6 +67,22 @@ type Core struct {
 	Insts  uint64
 	Loads  uint64
 	Stores uint64
+
+	loadLat probe.DistValue // load-to-use latency through the hierarchy
+	tr      probe.Emitter
+}
+
+// SetTracer attaches a per-run event tracer; the core traces under the
+// "core" component path. A nil tracer disables emission entirely.
+func (c *Core) SetTracer(tr probe.Tracer) { c.tr = probe.NewEmitter(tr, "core") }
+
+// ProbeStats implements probe.Source.
+func (c *Core) ProbeStats(s *probe.Scope) {
+	s.CounterU("insts", c.Insts)
+	s.CounterU("loads", c.Loads)
+	s.CounterU("stores", c.Stores)
+	s.Counter("cycles", c.Now())
+	s.Dist("load_latency", c.loadLat)
 }
 
 // New returns a core over the given memory hierarchy.
@@ -142,9 +159,12 @@ func (c *Core) Ops(n int) {
 		return
 	}
 	c.Insts += uint64(n)
-	c.reserve(n)
+	at := c.reserve(n)
 	c.issue += float64(n) * c.cfg.scale() / float64(c.cfg.Width)
 	c.retire(n, int64(c.issue)+1)
+	if c.tr.On() {
+		c.tr.Emit(probe.Event{Kind: probe.KInstr, Name: "ops", Begin: at, End: int64(c.issue), Aux: int64(n)})
+	}
 }
 
 // Muls executes n multiply/divide instructions.
@@ -153,9 +173,12 @@ func (c *Core) Muls(n int) {
 		return
 	}
 	c.Insts += uint64(n)
-	c.reserve(n)
+	at := c.reserve(n)
 	c.issue += float64(n) * c.cfg.scale() / float64(c.cfg.Width)
 	c.retire(n, int64(float64(c.cfg.MulLatency)*c.cfg.scale())+int64(c.issue))
+	if c.tr.On() {
+		c.tr.Emit(probe.Event{Kind: probe.KInstr, Name: "muls", Begin: at, End: int64(c.issue), Aux: int64(n)})
+	}
 }
 
 // memReserve rates memory operations through the LSU ports on top of the
@@ -185,7 +208,9 @@ func (c *Core) Load(addr uint64) {
 	c.Loads++
 	at := c.memReserve()
 	r := c.mh.CoreAccess(addr, false, at)
+	c.loadLat.Observe(r.Done - at)
 	c.retire(1, r.Done)
+	c.tr.SpanAddr(probe.KInstr, "load", at, r.Done, addr)
 }
 
 // Store executes one scalar store; stores retire from a write buffer without
@@ -196,4 +221,5 @@ func (c *Core) Store(addr uint64) {
 	at := c.memReserve()
 	c.mh.CoreAccess(addr, true, at)
 	c.retire(1, at+1)
+	c.tr.SpanAddr(probe.KInstr, "store", at, at+1, addr)
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/analytic"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/probe"
 	"repro/internal/vreg"
 )
 
@@ -110,23 +111,45 @@ type Engine struct {
 	instrs        uint64
 	spawnCost     int64
 	energyReadEq  float64
-	tracer        func(TraceEntry)
+	vlDist        probe.DistValue // active vector length per instruction
+	linesDist     probe.DistValue // cachelines per memory macro-op
+
+	// Per-run trace emitters; zero (disabled) unless SetTracer installs a
+	// tracer. The engine traces as three parallel tracks: the VSU timeline
+	// (phase attribution + instruction commits), the VMU request streams,
+	// and the DTU transpose traffic.
+	vsu probe.Emitter
+	vmu probe.Emitter
+	dtu probe.Emitter
 }
 
-// TraceEntry records one instruction's passage through the engine, for
-// timeline analysis (cmd/eve-trace).
-type TraceEntry struct {
-	Seq      uint64
-	Asm      string // disassembled instruction
-	VL       int
-	Arrival  int64 // commit time at the core
-	VCU      int64 // VCU dispatch slot
-	VSUClock int64 // engine clock after processing
-	Block    int64 // time the core was held until (0 = none)
+// SetTracer attaches a per-run event tracer (nil to disable). The engine
+// emits under "eve.vsu" (Fig 7 phase spans and per-instruction commit
+// events carrying seq, disassembly, VL, VCU slot and core-block time),
+// "eve.vmu" (load/store request streams) and "eve.dtu" (transpose and
+// detranspose spans).
+func (e *Engine) SetTracer(tr probe.Tracer) {
+	e.vsu = probe.NewEmitter(tr, "eve.vsu")
+	e.vmu = probe.NewEmitter(tr, "eve.vmu")
+	e.dtu = probe.NewEmitter(tr, "eve.dtu")
 }
 
-// SetTracer installs a per-instruction timeline callback (nil to disable).
-func (e *Engine) SetTracer(f func(TraceEntry)) { e.tracer = f }
+// ProbeStats implements probe.Source, publishing the engine's counters —
+// including the full Fig 7 breakdown and the Fig 8 VMU stall cycles — into
+// the hierarchical registry.
+func (e *Engine) ProbeStats(s *probe.Scope) {
+	s.CounterU("instrs", e.instrs)
+	s.Counter("cycles", e.clock)
+	s.Counter("spawn.cost", e.spawnCost)
+	s.Counter("vmu.issue_stall", e.vmuIssueStall)
+	s.CounterU("vmu.lines", e.vmuLines)
+	s.Float("energy.read_eq", e.energyReadEq)
+	for c := Category(0); c < NumCategories; c++ {
+		s.Counter("breakdown."+c.String(), e.brk[c])
+	}
+	s.Dist("vl", e.vlDist)
+	s.Dist("vmu.lines_per_op", e.linesDist)
+}
 
 // New builds an engine issuing memory requests to the given LLC-side port.
 func New(cfg Config, llc mem.Level) *Engine {
@@ -185,6 +208,7 @@ func (e *Engine) activeArrays(vl int) int {
 // work proceeds until the released ways are invalidated.
 func (e *Engine) Spawn(cost, at int64) {
 	e.spawnCost = cost
+	e.vsu.Instant(probe.KPhase, "spawn", at)
 	e.advanceTo(at, EmptyStall)
 	e.advanceTo(e.clock+cost, Busy)
 	if e.vcu < e.clock {
@@ -192,10 +216,13 @@ func (e *Engine) Spawn(cost, at int64) {
 	}
 }
 
-// advanceTo moves the VSU clock forward, charging the gap to cat.
+// advanceTo moves the VSU clock forward, charging the gap to cat. Each
+// charged gap becomes a KPhase span on the eve.vsu track, so a Perfetto
+// timeline of the run shows Fig 7's attribution cycle by cycle.
 func (e *Engine) advanceTo(t int64, cat Category) {
 	if t > e.clock {
 		e.brk[cat] += t - e.clock
+		e.vsu.Span(probe.KPhase, cat.String(), e.clock, t)
 		e.clock = t
 	}
 }
@@ -204,6 +231,7 @@ func (e *Engine) advanceTo(t int64, cat Category) {
 // penalty (§VI: EVE-16/32 cycle slower).
 func (e *Engine) busy(d int) {
 	c := int64(math.Ceil(float64(d) * e.penalty))
+	e.vsu.Span(probe.KPhase, "busy", e.clock, e.clock+c)
 	e.clock += c
 	e.brk[Busy] += c
 }
@@ -398,15 +426,17 @@ func (e *Engine) Handle(in *isa.Instr, arrival int64) int64 {
 	if reply > block {
 		block = reply
 	}
-	if e.tracer != nil {
-		e.tracer(TraceEntry{
-			Seq:      e.instrs,
-			Asm:      isa.Disassemble(in),
-			VL:       in.VL,
-			Arrival:  arrival,
-			VCU:      e.vcu,
-			VSUClock: e.clock,
-			Block:    block,
+	e.vlDist.Observe(int64(in.VL))
+	if e.vsu.On() {
+		e.vsu.Emit(probe.Event{
+			Kind:  probe.KInstr,
+			Name:  isa.Disassemble(in),
+			Begin: arrival,
+			End:   e.clock,
+			Seq:   e.instrs,
+			VL:    in.VL,
+			Aux:   e.vcu,
+			Aux2:  block,
 		})
 	}
 	return block
@@ -448,6 +478,7 @@ func (e *Engine) load(in *isa.Instr) int64 {
 	dispatched := start
 
 	lines := e.lines(in)
+	e.linesDist.Observe(int64(len(lines)))
 	lastIssue, dones := e.vmuIssue(lines, false, start)
 	e.vmuFree = lastIssue
 
@@ -465,6 +496,11 @@ func (e *Engine) load(in *isa.Instr) int64 {
 	}
 	if full < memDone {
 		full = memDone
+	}
+	if e.vmu.On() {
+		e.vmu.Emit(probe.Event{Kind: probe.KAccess, Name: "load",
+			Begin: dispatched, End: memDone, Addr: in.Addr, VL: in.VL, Aux: int64(len(lines))})
+		e.dtu.Span(probe.KAccess, "transpose", memDone, full)
 	}
 	st := &e.regs[in.Vd]
 	st.vmuT = start // delay before request generation began = VMU pressure
@@ -498,6 +534,7 @@ func (e *Engine) store(in *isa.Instr) int64 {
 	dispatched := start
 
 	lines := e.lines(in)
+	e.linesDist.Observe(int64(len(lines)))
 	// Request generation (addresses are known at dispatch) occupies the VMU
 	// pipeline in order, but the data writes drain through a separate store
 	// port so subsequent loads are not held behind data-dependent stores.
@@ -532,6 +569,11 @@ func (e *Engine) store(in *isa.Instr) int64 {
 	}
 	if drain > e.lastStW {
 		e.lastStW = drain
+	}
+	if e.vmu.On() {
+		e.dtu.Span(probe.KAccess, "detranspose", start, detransDone)
+		e.vmu.Emit(probe.Event{Kind: probe.KAccess, Name: "store",
+			Begin: issueAt, End: drain, Addr: in.Addr, VL: in.VL, Aux: int64(len(lines))})
 	}
 	// Detransposing reads 32/n rows per outgoing line.
 	e.energyReadEq += float64(len(lines) * e.segs)

@@ -23,6 +23,18 @@ func TestSimpurityUnrestricted(t *testing.T) {
 		filepath.Join("testdata", "simpurity", "unrestricted"))
 }
 
+func TestProbepurityRestricted(t *testing.T) {
+	linttest.RunDeps(t, lint.Probepurity, "repro/internal/sim",
+		filepath.Join("testdata", "probepurity", "restricted"),
+		linttest.Dep{Path: "repro/internal/probe", Dir: filepath.Join("testdata", "probepurity", "probe")})
+}
+
+func TestProbepurityUnrestricted(t *testing.T) {
+	linttest.RunDeps(t, lint.Probepurity, "repro/cmd/eve-trace",
+		filepath.Join("testdata", "probepurity", "unrestricted"),
+		linttest.Dep{Path: "repro/internal/probe", Dir: filepath.Join("testdata", "probepurity", "probe")})
+}
+
 func TestMaporder(t *testing.T) {
 	linttest.Run(t, lint.Maporder, "repro/internal/report",
 		filepath.Join("testdata", "maporder", "basic"))

@@ -18,6 +18,10 @@ var ErrdropPackages = []string{"repro/internal", "repro/cmd"}
 //   - explicit discards (`_ = f()`, `n, _ := f()`): visible in review;
 //   - fmt printing to os.Stdout/os.Stderr and writes into strings.Builder
 //     or bytes.Buffer, which cannot fail meaningfully;
+//   - writes into a *bufio.Writer, whose first error latches and is
+//     returned by Flush — the deferred-error contract makes per-write
+//     checks redundant as long as Flush's error is handled (which this
+//     analyzer still enforces, since Flush is not exempt);
 //   - anything under //evelint:allow errdrop with a reason.
 var Errdrop = &Analyzer{
 	Name: "errdrop",
@@ -84,9 +88,14 @@ func errdropExempt(info *types.Info, call *ast.CallExpr) bool {
 	if fn == nil || fn.Pkg() == nil {
 		return false
 	}
-	// Methods on in-memory sinks never return a useful error.
+	// Methods on in-memory or error-latching sinks never return a useful
+	// per-call error — except Flush, which is where a latching sink finally
+	// surfaces its error and so must be checked.
 	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
-		return isMemorySink(sig.Recv().Type())
+		if isMemorySink(sig.Recv().Type()) {
+			return true
+		}
+		return fn.Name() != "Flush" && isLatchingSink(sig.Recv().Type())
 	}
 	if fn.Pkg().Path() != "fmt" {
 		return false
@@ -96,8 +105,9 @@ func errdropExempt(info *types.Info, call *ast.CallExpr) bool {
 		return true // stdout
 	}
 	if hasPrefix(name, "Fprint") && len(call.Args) > 0 {
-		// Writes to the console or an in-memory sink.
-		if isMemorySink(info.TypeOf(call.Args[0])) {
+		// Writes to the console, an in-memory sink, or an error-latching
+		// buffered writer (checked at Flush).
+		if isMemorySink(info.TypeOf(call.Args[0])) || isLatchingSink(info.TypeOf(call.Args[0])) {
 			return true
 		}
 		if sel, ok := ast.Unparen(call.Args[0]).(*ast.SelectorExpr); ok {
@@ -122,6 +132,21 @@ func isMemorySink(t types.Type) bool {
 	}
 	path, name := named.Obj().Pkg().Path(), named.Obj().Name()
 	return (path == "strings" && name == "Builder") || (path == "bytes" && name == "Buffer")
+}
+
+// isLatchingSink reports whether t is *bufio.Writer: its first write error
+// latches and every later call (including Flush) returns it, so the error
+// is safely checked once at Flush.
+func isLatchingSink(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "bufio" && named.Obj().Name() == "Writer"
 }
 
 // calleeName renders the callee for diagnostics.

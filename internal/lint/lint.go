@@ -5,8 +5,12 @@
 //   - simpurity: no wall-clock reads, unseeded randomness, environment
 //     probes, or writes to package-level mutable state in the simulation
 //     packages (internal/sim, internal/cpu, internal/mem, internal/vengine,
-//     internal/uprog, internal/sweep). These are the invariants behind the
-//     sim.Run purity contract that internal/sweep parallelizes over.
+//     internal/uprog, internal/sweep, internal/probe). These are the
+//     invariants behind the sim.Run purity contract that internal/sweep
+//     parallelizes over.
+//   - probepurity: no package-level variables of probe types (Tracer,
+//     Emitter, Registry) in simulator packages — observability objects are
+//     per-run, injected via sim.RunTraced, never shared globals.
 //   - maporder: no map-iteration order leaking into results — appends
 //     without a subsequent sort, direct output, floating-point
 //     accumulation, or first-match selection inside `range` over a map.
@@ -74,7 +78,7 @@ type Diagnostic struct {
 }
 
 // Analyzers is the evelint suite in reporting order.
-var Analyzers = []*Analyzer{Simpurity, Maporder, Paramlit, Errdrop}
+var Analyzers = []*Analyzer{Simpurity, Probepurity, Maporder, Paramlit, Errdrop}
 
 // Reportf reports a diagnostic unless an //evelint:allow comment on the
 // same line (or the line above, for a full-line comment) suppresses it.

@@ -51,50 +51,58 @@ type expectation struct {
 	met  bool
 }
 
+// Dep declares one auxiliary testdata package the fixture under test may
+// import: Dir's sources are type-checked first and made importable under
+// Path. This lets fixtures import in-repo packages (e.g. a stand-in for
+// repro/internal/probe) without the helper needing export data or network
+// access.
+type Dep struct {
+	Path string // import path the fixture's sources use
+	Dir  string // directory holding the dependency's .go files
+}
+
+// depImporter resolves the declared Deps ahead of the shared GOROOT-source
+// importer.
+type depImporter struct {
+	base types.Importer
+	pkgs map[string]*types.Package
+}
+
+func (d *depImporter) Import(path string) (*types.Package, error) {
+	if p, ok := d.pkgs[path]; ok {
+		return p, nil
+	}
+	return d.base.Import(path)
+}
+
 // Run type-checks the testdata directory as package pkgpath, applies the
 // analyzer, and reports mismatches between its diagnostics and the
 // `// want "regexp"` comments in the sources.
 func Run(t *testing.T, a *lint.Analyzer, pkgpath, dir string) {
 	t.Helper()
+	RunDeps(t, a, pkgpath, dir)
+}
+
+// RunDeps is Run with auxiliary importable packages. Deps are type-checked
+// in order, so a later Dep may import an earlier one.
+func RunDeps(t *testing.T, a *lint.Analyzer, pkgpath, dir string, deps ...Dep) {
+	t.Helper()
 	mu.Lock()
 	defer mu.Unlock()
 
-	entries, err := os.ReadDir(dir)
+	local := &depImporter{base: imp, pkgs: make(map[string]*types.Package, len(deps))}
+	for _, d := range deps {
+		pkg, _, _, err := checkDir(local, d.Path, d.Dir, nil)
+		if err != nil {
+			t.Fatalf("linttest: dep %s: %v", d.Path, err)
+		}
+		local.pkgs[d.Path] = pkg
+	}
+
+	var wants []*expectation
+	pkg, files, info, err := checkDir(local, pkgpath, dir, &wants)
 	if err != nil {
 		t.Fatalf("linttest: %v", err)
-	}
-	var names []string
-	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
-			names = append(names, e.Name())
-		}
-	}
-	sort.Strings(names)
-	if len(names) == 0 {
-		t.Fatalf("linttest: no .go files in %s", dir)
-	}
-
-	var files []*ast.File
-	var wants []*expectation
-	for _, name := range names {
-		path := filepath.Join(dir, name)
-		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
-		if err != nil {
-			t.Fatalf("linttest: parse %s: %v", path, err)
-		}
-		files = append(files, f)
-		ws, err := parseWants(fset, f)
-		if err != nil {
-			t.Fatalf("linttest: %s: %v", path, err)
-		}
-		wants = append(wants, ws...)
-	}
-
-	conf := types.Config{Importer: imp}
-	info := lint.NewTypesInfo()
-	pkg, err := conf.Check(pkgpath, fset, files, info)
-	if err != nil {
-		t.Fatalf("linttest: type-checking %s as %s: %v", dir, pkgpath, err)
 	}
 
 	pass := &lint.Pass{
@@ -121,6 +129,50 @@ func Run(t *testing.T, a *lint.Analyzer, pkgpath, dir string) {
 			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.rx)
 		}
 	}
+}
+
+// checkDir parses and type-checks one directory as package pkgpath. When
+// wants is non-nil, `// want` expectations are collected into it.
+func checkDir(imp types.Importer, pkgpath, dir string, wants *[]*expectation) (*types.Package, []*ast.File, *types.Info, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, nil, nil, fmt.Errorf("no .go files in %s", dir)
+	}
+
+	var files []*ast.File
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("parse %s: %v", path, err)
+		}
+		files = append(files, f)
+		if wants != nil {
+			ws, err := parseWants(fset, f)
+			if err != nil {
+				return nil, nil, nil, fmt.Errorf("%s: %v", path, err)
+			}
+			*wants = append(*wants, ws...)
+		}
+	}
+
+	conf := types.Config{Importer: imp}
+	info := lint.NewTypesInfo()
+	pkg, err := conf.Check(pkgpath, fset, files, info)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("type-checking %s as %s: %v", dir, pkgpath, err)
+	}
+	return pkg, files, info, nil
 }
 
 // matchWant finds and consumes the first unmet expectation on the

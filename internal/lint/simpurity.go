@@ -18,6 +18,7 @@ var SimpurityPackages = []string{
 	"repro/internal/uprog",
 	"repro/internal/sweep",
 	"repro/internal/faults",
+	"repro/internal/probe",
 }
 
 // Simpurity enforces the purity contract documented on sim.Run: simulation

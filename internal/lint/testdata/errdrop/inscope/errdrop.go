@@ -3,6 +3,7 @@
 package errdrop
 
 import (
+	"bufio"
 	"bytes"
 	"fmt"
 	"io"
@@ -54,6 +55,20 @@ func consoleAndMemorySinks(b *strings.Builder, buf *bytes.Buffer) {
 
 func interfaceWriter(w io.Writer) {
 	fmt.Fprintf(w, "x\n") // want `fmt.Fprintf is silently discarded`
+}
+
+func latchingSink(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "x\n") // latching sink: error surfaces at Flush, allowed
+	bw.WriteString("y")    // latching sink method: allowed
+	bw.WriteByte('z')      // latching sink method: allowed
+	return bw.Flush()      // Flush handled: the one place the latch fires
+}
+
+func latchingSinkFlushDropped(w io.Writer) {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "x\n")
+	bw.Flush() // want `silently discarded`
 }
 
 func allowEscape() {

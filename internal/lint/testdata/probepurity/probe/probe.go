@@ -1,0 +1,41 @@
+// Package probe is a stand-in for repro/internal/probe: the linttest
+// fixtures type-check against this skeleton (via linttest.Dep) so the
+// probepurity analyzer can be tested offline without export data for the
+// real package.
+package probe
+
+// Event is one trace event.
+type Event struct {
+	Comp string
+	Name string
+}
+
+// Tracer receives trace events.
+type Tracer interface {
+	Event(Event)
+}
+
+// Emitter binds a Tracer to a component path.
+type Emitter struct {
+	tr   Tracer
+	comp string
+}
+
+// On reports whether the emitter delivers events.
+func (e Emitter) On() bool { return e.tr != nil }
+
+// Registry is a per-run stats registry.
+type Registry struct {
+	names []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Collect accumulates events.
+type Collect struct {
+	Events []Event
+}
+
+// Event implements Tracer.
+func (c *Collect) Event(ev Event) { c.Events = append(c.Events, ev) }

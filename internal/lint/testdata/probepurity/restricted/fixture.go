@@ -1,0 +1,61 @@
+// Fixture for the probepurity analyzer, type-checked as a simulator package
+// (repro/internal/sim): package-level probe state must be flagged; per-run
+// fields, locals and blank interface assertions must not.
+package fixture
+
+import "repro/internal/probe"
+
+var globalTracer probe.Tracer // want `package-level variable globalTracer holds probe state`
+
+var globalRegistry = probe.NewRegistry() // want `package-level variable globalRegistry holds probe state`
+
+var globalCollect probe.Collect // want `package-level variable globalCollect holds probe state`
+
+// Indirection through containers and pointers is still shared state.
+var tracerPool []probe.Tracer // want `package-level variable tracerPool holds probe state`
+
+var emitterByName map[string]probe.Emitter // want `package-level variable emitterByName holds probe state`
+
+// A function value capturing probe types in its signature is a probe hook.
+var defaultHook func(probe.Event) // want `package-level variable defaultHook holds probe state`
+
+// A struct type whose fields reach probe state is flagged when used at
+// package level.
+type wrapper struct {
+	tr probe.Emitter
+}
+
+var sharedWrapper wrapper // want `package-level variable sharedWrapper holds probe state`
+
+// Interface-satisfaction assertions carry no state and stay legal.
+var _ probe.Tracer = (*probe.Collect)(nil)
+
+// Escape hatch: an intentional exception is suppressed explicitly.
+var allowedTracer probe.Tracer //evelint:allow probepurity -- fixture: demonstrates the escape hatch
+
+// Non-probe package-level state is out of this analyzer's scope.
+var plainCounter int64
+
+// engine holds probe objects per instance — the sanctioned design.
+type engine struct {
+	tr  probe.Emitter
+	reg *probe.Registry
+}
+
+// newEngine builds per-run probe state; locals are fine.
+func newEngine(tr probe.Tracer) *engine {
+	col := &probe.Collect{}
+	_ = col
+	return &engine{reg: probe.NewRegistry()}
+}
+
+// use silences unused-variable diagnostics for the fixture's globals.
+func use() (probe.Tracer, *probe.Registry, int64) {
+	_ = globalCollect
+	_ = tracerPool
+	_ = emitterByName
+	_ = defaultHook
+	_ = sharedWrapper
+	_ = allowedTracer
+	return globalTracer, globalRegistry, plainCounter
+}

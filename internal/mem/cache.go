@@ -3,6 +3,9 @@ package mem
 import (
 	"container/heap"
 	"fmt"
+	"strings"
+
+	"repro/internal/probe"
 )
 
 // LineBytes is the cache line size used throughout the hierarchy.
@@ -89,6 +92,33 @@ type Cache struct {
 	// partition restricts allocation to the first partitionWays ways when
 	// nonzero (EVE way-partitioning, §V-E).
 	partitionWays int
+
+	tr probe.Emitter
+}
+
+// SetTracer attaches a per-run event tracer; the cache traces under its
+// lower-cased level name ("l1d", "l2", "llc").
+func (c *Cache) SetTracer(tr probe.Tracer) {
+	c.tr = probe.NewEmitter(tr, strings.ToLower(c.cfg.Name))
+}
+
+// ProbeStats implements probe.Source, publishing the level's counters into
+// the hierarchical registry.
+func (c *Cache) ProbeStats(s *probe.Scope) {
+	st := c.stats
+	s.CounterU("accesses", st.Accesses)
+	s.CounterU("hits", st.Hits)
+	s.CounterU("misses", st.Misses)
+	rate := 0.0
+	if st.Accesses > 0 {
+		rate = float64(st.Misses) / float64(st.Accesses)
+	}
+	s.Float("miss_rate", rate)
+	s.CounterU("writebacks", st.Writebacks)
+	s.CounterU("merged_misses", st.MergedMiss)
+	s.CounterU("invalidates", st.Invalidates)
+	s.Counter("mshr.stall_cycles", st.MSHRStall)
+	s.Counter("bank.stall_cycles", st.BankStall)
 }
 
 // NewCache builds a cache over the given lower level.
@@ -152,6 +182,7 @@ func (c *Cache) Access(addr uint64, write bool, t int64) Result {
 	start := t
 	if c.banks[b] > start && c.banks[b]-start <= bankWindow {
 		c.stats.BankStall += c.banks[b] - start
+		c.tr.Span(probe.KStall, "bank", start, c.banks[b])
 		start = c.banks[b]
 	}
 	if start+1 > c.banks[b] {
@@ -178,6 +209,7 @@ func (c *Cache) Access(addr uint64, write bool, t int64) Result {
 					delete(c.outstanding, lineAddr)
 				}
 			}
+			c.tr.SpanAddr(probe.KAccess, "hit", start, done, lineAddr*LineBytes)
 			return Result{Accepted: start, Done: done}
 		}
 	}
@@ -189,6 +221,7 @@ func (c *Cache) Access(addr uint64, write bool, t int64) Result {
 		if done < start+c.cfg.HitLatency {
 			done = start + c.cfg.HitLatency
 		}
+		c.tr.SpanAddr(probe.KAccess, "merged_miss", start, done, lineAddr*LineBytes)
 		return Result{Accepted: start, Done: done}
 	}
 
@@ -198,6 +231,7 @@ func (c *Cache) Access(addr uint64, write bool, t int64) Result {
 	// when the dirty line eventually writes back.
 	if write {
 		c.install(set, tag, true, start)
+		c.tr.SpanAddr(probe.KAccess, "write_alloc", start, start+c.cfg.HitLatency, lineAddr*LineBytes)
 		return Result{Accepted: start, Done: start + c.cfg.HitLatency}
 	}
 
@@ -209,6 +243,7 @@ func (c *Cache) Access(addr uint64, write bool, t int64) Result {
 	if len(c.mshrs) >= c.cfg.MSHRs {
 		free := c.mshrs[0]
 		c.stats.MSHRStall += free - issue
+		c.tr.Span(probe.KStall, "mshr", issue, free)
 		issue = free
 		for len(c.mshrs) > 0 && c.mshrs[0] <= issue {
 			heap.Pop(&c.mshrs)
@@ -230,6 +265,7 @@ func (c *Cache) Access(addr uint64, write bool, t int64) Result {
 		}
 	}
 	c.install(set, tag, write, done)
+	c.tr.SpanAddr(probe.KAccess, "miss", start, done, lineAddr*LineBytes)
 	return Result{Accepted: issue, Done: done}
 }
 
@@ -251,6 +287,10 @@ func (c *Cache) install(set int, tag uint64, dirty bool, t int64) {
 	if ls[victim].valid && ls[victim].dirty {
 		c.stats.Writebacks++
 		victimLine := ls[victim].tag*uint64(c.nsets) + uint64(set)
+		if c.tr.On() {
+			c.tr.Emit(probe.Event{Kind: probe.KWriteback, Name: "writeback",
+				Begin: t, End: t, Addr: victimLine * LineBytes})
+		}
 		c.lower.Access(victimLine*LineBytes, true, t)
 	}
 	ls[victim] = line{tag: tag, valid: true, dirty: dirty, lru: c.clock}

@@ -1,5 +1,7 @@
 package mem
 
+import "repro/internal/probe"
+
 // DRAM models a single-channel DDR4-2400-like main memory: a fixed access
 // latency plus a shared data bus whose bandwidth serializes line transfers
 // (Table III: "single-channel DDR4-2400"). At the ~1 GHz core clock implied
@@ -13,8 +15,22 @@ type DRAM struct {
 
 	busFree       float64
 	accesses      uint64
+	reads         uint64
 	busBusy       float64
 	pendingWrites int
+
+	tr probe.Emitter
+}
+
+// SetTracer attaches a per-run event tracer under the "dram" path.
+func (d *DRAM) SetTracer(tr probe.Tracer) { d.tr = probe.NewEmitter(tr, "dram") }
+
+// ProbeStats implements probe.Source.
+func (d *DRAM) ProbeStats(s *probe.Scope) {
+	s.CounterU("accesses", d.accesses)
+	s.CounterU("reads", d.reads)
+	s.CounterU("writes", d.accesses-d.reads)
+	s.Float("bus.busy_cycles", d.busBusy)
 }
 
 // Table III DRAM parameters at a 1 GHz core clock: closed-page access
@@ -45,8 +61,10 @@ func (d *DRAM) Access(addr uint64, write bool, t int64) Result {
 	if write {
 		d.pendingWrites++
 		d.busBusy += d.CyclesPerLine
+		d.tr.SpanAddr(probe.KAccess, "write", t, t, addr)
 		return Result{Accepted: t, Done: t + 1}
 	}
+	d.reads++
 	start := float64(t)
 	if d.busFree > start {
 		start = d.busFree
@@ -58,6 +76,7 @@ func (d *DRAM) Access(addr uint64, write bool, t int64) Result {
 	}
 	d.busFree = start + occ
 	d.busBusy += d.CyclesPerLine
+	d.tr.SpanAddr(probe.KAccess, "read", int64(start), int64(start)+d.Latency, addr)
 	return Result{Accepted: int64(start), Done: int64(start) + d.Latency}
 }
 

@@ -1,5 +1,7 @@
 package mem
 
+import "repro/internal/probe"
+
 // Hierarchy assembles Table III's memory system for one core: private L1D
 // and L2 over a shared LLC and single-channel DRAM. The hierarchy is
 // inclusive; EVE spawning way-partitions the L2 (§V-E).
@@ -32,6 +34,24 @@ func NewHierarchyCfg(l1d, l2c, llc CacheConfig) *Hierarchy {
 	l2C := NewCache(l2c, llcC)
 	l1dC := NewCache(l1d, l2C)
 	return &Hierarchy{L1D: l1dC, L2: l2C, LLC: llcC, DRAM: dram}
+}
+
+// SetTracer attaches one per-run event tracer to every level; each level
+// emits under its own component path (l1d, l2, llc, dram).
+func (h *Hierarchy) SetTracer(tr probe.Tracer) {
+	h.L1D.SetTracer(tr)
+	h.L2.SetTracer(tr)
+	h.LLC.SetTracer(tr)
+	h.DRAM.SetTracer(tr)
+}
+
+// RegisterStats registers every level of the hierarchy with the stats
+// registry under its canonical dotted path.
+func (h *Hierarchy) RegisterStats(r *probe.Registry) {
+	r.Register("l1d", h.L1D)
+	r.Register("l2", h.L2)
+	r.Register("llc", h.LLC)
+	r.Register("dram", h.DRAM)
 }
 
 // CoreAccess performs a scalar core data access through L1D.

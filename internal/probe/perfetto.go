@@ -1,0 +1,145 @@
+package probe
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WritePerfetto renders a traced run as Chrome trace-event JSON, the format
+// ui.perfetto.dev (and chrome://tracing) loads directly. The whole run is
+// one process; every component path becomes one named thread track, so the
+// core, each cache level, DRAM and the engine sub-units (eve.vsu, eve.vmu,
+// eve.dtu) line up as parallel timelines. Cycle stamps map 1:1 onto the
+// format's microsecond field — read "1 µs" as "1 core cycle".
+//
+// Span events render as complete ("X") slices; instants and instruction
+// commits render as thread-scoped instant ("i") marks, which keeps every
+// track free of partially-overlapping slices Perfetto cannot nest.
+//
+// The output is deterministic: track ids come from the sorted component
+// paths, events keep their emission order, and json.Marshal sorts the args
+// maps — two identical runs produce byte-identical traces.
+func WritePerfetto(w io.Writer, process string, events []Event) error {
+	const pid = 1
+	comps := make([]string, 0, 8)
+	seen := make(map[string]bool, 8)
+	for _, ev := range events {
+		if !seen[ev.Comp] {
+			seen[ev.Comp] = true
+			comps = append(comps, ev.Comp)
+		}
+	}
+	sort.Strings(comps)
+	tid := make(map[string]int, len(comps))
+	for i, c := range comps {
+		tid[c] = i + 1
+	}
+
+	if _, err := io.WriteString(w, "{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(v any) error {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		if !first {
+			if _, err := io.WriteString(w, ",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err = w.Write(b)
+		return err
+	}
+
+	type meta struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	}
+	if err := emit(meta{Name: "process_name", Ph: "M", Pid: pid,
+		Args: map[string]any{"name": process}}); err != nil {
+		return err
+	}
+	for _, c := range comps {
+		if err := emit(meta{Name: "thread_name", Ph: "M", Pid: pid, Tid: tid[c],
+			Args: map[string]any{"name": c}}); err != nil {
+			return err
+		}
+	}
+
+	type slice struct {
+		Name string         `json:"name"`
+		Cat  string         `json:"cat"`
+		Ph   string         `json:"ph"`
+		Ts   int64          `json:"ts"`
+		Dur  int64          `json:"dur,omitempty"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		S    string         `json:"s,omitempty"`
+		Args map[string]any `json:"args,omitempty"`
+	}
+	for _, ev := range events {
+		s := slice{
+			Name: ev.Name,
+			Cat:  ev.Kind.String(),
+			Ts:   ev.Begin,
+			Pid:  pid,
+			Tid:  tid[ev.Comp],
+			Args: eventArgs(ev),
+		}
+		// Instruction and dispatch events overlap freely in a pipelined
+		// machine; everything else on a track is sequential. Overlapping
+		// shapes become instants so Perfetto's slice nesting stays valid.
+		if ev.Kind == KInstr || ev.Kind == KDispatch || ev.End <= ev.Begin {
+			s.Ph, s.S = "i", "t"
+			if ev.End > ev.Begin {
+				if s.Args == nil {
+					s.Args = map[string]any{}
+				}
+				s.Args["end"] = ev.End
+			}
+		} else {
+			s.Ph = "X"
+			s.Dur = ev.End - ev.Begin
+		}
+		if err := emit(s); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n]}\n")
+	return err
+}
+
+// eventArgs packs an event's non-zero payload fields for the trace viewer.
+func eventArgs(ev Event) map[string]any {
+	var args map[string]any
+	set := func(k string, v any) {
+		if args == nil {
+			args = map[string]any{}
+		}
+		args[k] = v
+	}
+	if ev.Seq != 0 {
+		set("seq", ev.Seq)
+	}
+	if ev.Addr != 0 {
+		set("addr", fmt.Sprintf("%#x", ev.Addr))
+	}
+	if ev.VL != 0 {
+		set("vl", ev.VL)
+	}
+	if ev.Aux != 0 {
+		set("aux", ev.Aux)
+	}
+	if ev.Aux2 != 0 {
+		set("aux2", ev.Aux2)
+	}
+	return args
+}

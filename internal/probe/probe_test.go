@@ -1,0 +1,245 @@
+package probe
+
+import (
+	"bytes"
+	"encoding/json"
+	"sort"
+	"strings"
+	"testing"
+)
+
+type fakeSource map[string]int64
+
+func (f fakeSource) ProbeStats(s *Scope) {
+	names := make([]string, 0, len(f))
+	for n := range f {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		s.Counter(n, f[n])
+	}
+}
+
+func TestRegistrySnapshotSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Register("l2", fakeSource{"misses": 7, "accesses": 10})
+	r.Register("core", fakeSource{"insts": 42})
+	st := r.Snapshot()
+
+	if len(st) != 3 {
+		t.Fatalf("snapshot has %d entries, want 3", len(st))
+	}
+	if !sort.SliceIsSorted(st, func(i, j int) bool { return st[i].Name < st[j].Name }) {
+		t.Errorf("snapshot not sorted: %v", st)
+	}
+	if v, ok := st.Int("core.insts"); !ok || v != 42 {
+		t.Errorf("core.insts = %d, %v; want 42, true", v, ok)
+	}
+	if v, ok := st.Int("l2.accesses"); !ok || v != 10 {
+		t.Errorf("l2.accesses = %d, %v; want 10, true", v, ok)
+	}
+	if _, ok := st.Get("l2.nonexistent"); ok {
+		t.Error("Get on a missing name reported ok")
+	}
+}
+
+func TestRegistryDuplicatePathPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Register("core", fakeSource{"insts": 1})
+	r.Register("core", fakeSource{"insts": 2})
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate stat path did not panic")
+		}
+	}()
+	r.Snapshot()
+}
+
+func TestScopeChild(t *testing.T) {
+	var out []Stat
+	s := &Scope{prefix: "eve.", out: &out}
+	s.Child("vmu").Counter("lines", 3)
+	if len(out) != 1 || out[0].Name != "eve.vmu.lines" {
+		t.Fatalf("child scope produced %v, want eve.vmu.lines", out)
+	}
+}
+
+func TestDistValue(t *testing.T) {
+	var d DistValue
+	if d.Mean() != 0 {
+		t.Errorf("empty dist mean = %v, want 0", d.Mean())
+	}
+	for _, v := range []int64{5, -3, 10} {
+		d.Observe(v)
+	}
+	if d.Count != 3 || d.Sum != 12 || d.Min != -3 || d.Max != 10 {
+		t.Errorf("dist = %+v, want count 3 sum 12 min -3 max 10", d)
+	}
+	if d.Mean() != 4 {
+		t.Errorf("mean = %v, want 4", d.Mean())
+	}
+}
+
+func TestFlattenExpandsDists(t *testing.T) {
+	st := Stats{
+		{Name: "a.count", Kind: KindCounter, Int: 2},
+		{Name: "b", Kind: KindDist, Dist: DistValue{Count: 2, Sum: 6, Min: 2, Max: 4}},
+		{Name: "c", Kind: KindFloat, Float: 0.5},
+	}
+	flat := st.Flatten()
+	want := map[string]float64{
+		"a.count": 2, "b.count": 2, "b.sum": 6, "b.min": 2, "b.max": 4, "b.mean": 3, "c": 0.5,
+	}
+	for k, v := range want {
+		if flat[k] != v {
+			t.Errorf("flat[%q] = %v, want %v", k, flat[k], v)
+		}
+	}
+	if len(flat) != len(want) {
+		t.Errorf("flatten produced %d keys, want %d: %v", len(flat), len(want), flat)
+	}
+}
+
+func TestWriteTextAlignedAndDeterministic(t *testing.T) {
+	st := Stats{
+		{Name: "core.insts", Kind: KindCounter, Int: 7},
+		{Name: "l2.miss_rate", Kind: KindFloat, Float: 0.25},
+	}
+	var a, b bytes.Buffer
+	if err := st.WriteText(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("two WriteText renderings differ")
+	}
+	lines := strings.Split(strings.TrimRight(a.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), a.String())
+	}
+	if !strings.Contains(lines[0], "core.insts") || !strings.HasSuffix(lines[0], "7") {
+		t.Errorf("counter line = %q", lines[0])
+	}
+	if !strings.HasSuffix(lines[1], "0.250000") {
+		t.Errorf("float line = %q", lines[1])
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	for _, tc := range []struct {
+		v    float64
+		want string
+	}{
+		{3, "3"}, {0, "0"}, {-12, "-12"}, {0.5, "0.500000"}, {2.25, "2.250000"},
+	} {
+		if got := FormatFloat(tc.v); got != tc.want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}
+
+// TestZeroEmitterIsSafe: the zero Emitter is the fast path — every method
+// must be a no-op, not a nil dereference.
+func TestZeroEmitterIsSafe(t *testing.T) {
+	var e Emitter
+	if e.On() {
+		t.Error("zero emitter reports On")
+	}
+	e.Emit(Event{Kind: KInstr, Name: "x"})
+	e.Span(KPhase, "busy", 0, 4)
+	e.SpanAddr(KAccess, "hit", 0, 2, 64)
+	e.Instant(KPhase, "spawn", 1)
+	if c := e.Child("vmu"); c.On() {
+		t.Error("child of zero emitter reports On")
+	}
+	if ne := NewEmitter(nil, "core"); ne.On() {
+		t.Error("NewEmitter(nil) reports On")
+	}
+}
+
+func TestEmitterStampsComponent(t *testing.T) {
+	col := &Collect{}
+	e := NewEmitter(col, "eve")
+	e.Emit(Event{Kind: KInstr, Name: "vadd"})
+	e.Child("vmu").Span(KAccess, "load", 1, 5)
+	if len(col.Events) != 2 {
+		t.Fatalf("collected %d events, want 2", len(col.Events))
+	}
+	if col.Events[0].Comp != "eve" {
+		t.Errorf("event 0 comp = %q, want eve", col.Events[0].Comp)
+	}
+	if col.Events[1].Comp != "eve.vmu" || col.Events[1].End != 5 {
+		t.Errorf("event 1 = %+v, want comp eve.vmu end 5", col.Events[1])
+	}
+}
+
+func perfettoEvents() []Event {
+	return []Event{
+		{Comp: "eve.vsu", Kind: KPhase, Name: "busy", Begin: 0, End: 10},
+		{Comp: "l2", Kind: KAccess, Name: "miss", Begin: 2, End: 40, Addr: 0x1000},
+		{Comp: "eve.vsu", Kind: KInstr, Name: "vadd.vv v3,v1,v2", Begin: 4, End: 12, Seq: 1, VL: 64},
+		{Comp: "core", Kind: KInstr, Name: "ops", Begin: 0, End: 0, Aux: 3},
+		{Comp: "l2", Kind: KWriteback, Name: "writeback", Begin: 40, End: 40, Addr: 0x2000},
+	}
+}
+
+func TestWritePerfettoValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, "test run", perfettoEvents()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	// 1 process_name + 3 thread_name metadata + 5 events.
+	if len(doc.TraceEvents) != 9 {
+		t.Fatalf("got %d trace events, want 9", len(doc.TraceEvents))
+	}
+	for i, ev := range doc.TraceEvents {
+		for _, key := range []string{"ph", "pid"} {
+			if _, ok := ev[key]; !ok {
+				t.Errorf("event %d missing %q: %v", i, key, ev)
+			}
+		}
+		if ev["ph"] != "M" {
+			if _, ok := ev["ts"]; !ok {
+				t.Errorf("event %d missing ts: %v", i, ev)
+			}
+		}
+	}
+	// The phase span is a complete slice; the instruction is an instant.
+	var sawSpan, sawInstant bool
+	for _, ev := range doc.TraceEvents {
+		switch ev["name"] {
+		case "busy":
+			sawSpan = ev["ph"] == "X" && ev["dur"] == float64(10)
+		case "vadd.vv v3,v1,v2":
+			sawInstant = ev["ph"] == "i"
+		}
+	}
+	if !sawSpan {
+		t.Error("phase span did not render as a complete slice with dur")
+	}
+	if !sawInstant {
+		t.Error("instruction commit did not render as an instant")
+	}
+}
+
+func TestWritePerfettoDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WritePerfetto(&a, "run", perfettoEvents()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePerfetto(&b, "run", perfettoEvents()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two renderings of the same events differ")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/eve"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/probe"
 	"repro/internal/vengine"
 	"repro/internal/workloads"
 )
@@ -80,7 +81,18 @@ type Result struct {
 	SpawnCost int64         // EVE only
 	EnergyEq  float64       // EVE array energy in read-equivalents (§VI-B)
 	LLC       mem.CacheStats
-	Err       error // output validation failure, if any
+	// Stats is the hierarchical end-of-run counter snapshot: every component
+	// of the simulated system under its dotted path (core.insts,
+	// l2.mshr.stall_cycles, eve.breakdown.busy, ...). Pulled once after the
+	// run completes, so populating it costs nothing on the simulated path.
+	// Empty when the run aborted with a recovered SimError.
+	Stats probe.Stats
+	// MemChecksum is the FNV-1a hash of the flat backing store after the run
+	// — the silent-data-corruption signal. Computed by RunTraced and
+	// RunDatapath (zero on a crash); plain Run leaves it zero to keep the
+	// sweep fast path free of the O(memory) hash.
+	MemChecksum uint64
+	Err         error // output validation failure, if any
 }
 
 // sink couples the trace to a core and an optional vector engine.
@@ -123,8 +135,17 @@ func (s *sink) Emit(ev isa.Event) {
 // the grid, and TestConcurrentRunsArePure plus the determinism test in
 // internal/sweep enforce it under the race detector.
 func Run(cfg Config, k *workloads.Kernel) Result {
-	res, _ := run(cfg, k, nil)
-	return res
+	return run(cfg, k, runOpts{})
+}
+
+// RunTraced is Run with observability attached: every component's trace
+// events are delivered to tr (nil is allowed and traces nothing), and the
+// result additionally carries the flat-memory checksum. Apart from the
+// checksum field, a traced run must produce a Result identical to Run's —
+// probes observe, they never perturb — which the determinism regression
+// test enforces across all systems.
+func RunTraced(cfg Config, k *workloads.Kernel, tr probe.Tracer) Result {
+	return run(cfg, k, runOpts{tracer: tr, checksum: true})
 }
 
 // RunDatapath simulates one kernel on one system with the vector unit's
@@ -135,10 +156,18 @@ func Run(cfg Config, k *workloads.Kernel) Result {
 // the silent-data-corruption signal fault campaigns compare against a
 // fault-free baseline. A nil newDP behaves exactly like Run.
 func RunDatapath(cfg Config, k *workloads.Kernel, newDP func(hwvl int) isa.Datapath) (Result, uint64) {
-	return run(cfg, k, newDP)
+	res := run(cfg, k, runOpts{newDP: newDP, checksum: newDP != nil})
+	return res, res.MemChecksum
 }
 
-func run(cfg Config, k *workloads.Kernel, newDP func(hwvl int) isa.Datapath) (res Result, sum uint64) {
+// runOpts bundles the optional per-run attachments.
+type runOpts struct {
+	newDP    func(hwvl int) isa.Datapath
+	tracer   probe.Tracer // nil = no event emission (the fast path)
+	checksum bool         // hash the flat store after the run
+}
+
+func run(cfg Config, k *workloads.Kernel, opts runOpts) (res Result) {
 	h := mem.NewHierarchy()
 	flat := mem.NewFlat(64 << 20)
 
@@ -172,9 +201,22 @@ func run(cfg Config, k *workloads.Kernel, newDP func(hwvl int) isa.Datapath) (re
 				Subsystem: subsystem,
 				Err:       err,
 			}
-			sum = 0
+			res.MemChecksum = 0
+			res.Stats = nil
 		}
 	}()
+
+	// The stats registry pulls counters once after the run; registration is
+	// unconditional because it costs nothing on the simulated path. The
+	// tracer, by contrast, is only wired when present: an unset probe.Emitter
+	// is the zero-overhead fast path.
+	reg := probe.NewRegistry()
+	reg.Register("core", core)
+	h.RegisterStats(reg)
+	if opts.tracer != nil {
+		core.SetTracer(opts.tracer)
+		h.SetTracer(opts.tracer)
+	}
 
 	var engine vengine.Engine
 	var eveEng *eve.Engine
@@ -185,23 +227,34 @@ func run(cfg Config, k *workloads.Kernel, newDP func(hwvl int) isa.Datapath) (re
 	case SysIO, SysO3:
 		vector = false
 	case SysO3IV:
-		engine = vengine.NewIV(core)
+		iv := vengine.NewIV(core)
+		reg.Register("iv", iv)
+		engine = iv
 		hwvl = vengine.IVHWVL
 	case SysO3DV:
-		engine = vengine.NewDV(vengine.DefaultDVConfig(), h.L2)
-		hwvl = engine.HWVL()
+		dv := vengine.NewDV(vengine.DefaultDVConfig(), h.L2)
+		reg.Register("dv", dv)
+		if opts.tracer != nil {
+			dv.SetTracer(opts.tracer)
+		}
+		engine = dv
+		hwvl = dv.HWVL()
 	case SysO3EVE:
 		ecfg := eve.DefaultConfig(cfg.N)
 		ecfg.MaxUProgCycles = cfg.MaxUProgCycles
 		eveEng = eve.New(ecfg, h.LLC)
+		reg.Register("eve", eveEng)
+		if opts.tracer != nil {
+			eveEng.SetTracer(opts.tracer)
+		}
 		eveEng.Spawn(h.SpawnEVE(), 0)
 		engine = eveEng
 		hwvl = eveEng.HWVL()
 	}
 
 	b := isa.NewBuilder(flat, max(hwvl, 1), &sink{core: core, engine: engine})
-	if newDP != nil {
-		b.SetDatapath(newDP(max(hwvl, 1)))
+	if opts.newDP != nil {
+		b.SetDatapath(opts.newDP(max(hwvl, 1)))
 	}
 	check := k.Run(b, vector)
 	res.Err = check()
@@ -221,10 +274,11 @@ func run(cfg Config, k *workloads.Kernel, newDP func(hwvl int) isa.Datapath) (re
 		res.EnergyEq = eveEng.EnergyReadEq()
 	}
 	res.LLC = h.LLC.Stats()
-	if newDP != nil {
-		sum = flat.Checksum()
+	res.Stats = reg.Snapshot()
+	if opts.checksum {
+		res.MemChecksum = flat.Checksum()
 	}
-	return res, sum
+	return res
 }
 
 // RunEVE simulates a kernel on O3+EVE with a custom engine configuration
@@ -239,6 +293,10 @@ func RunEVE(ecfg eve.Config, h *mem.Hierarchy, k *workloads.Kernel) Result {
 	coreCfg.ClockScale = analytic.ClockPenalty(ecfg.N)
 	core := cpu.New(coreCfg, h)
 	eveEng := eve.New(ecfg, h.LLC)
+	reg := probe.NewRegistry()
+	reg.Register("core", core)
+	h.RegisterStats(reg)
+	reg.Register("eve", eveEng)
 	eveEng.Spawn(h.SpawnEVE(), 0)
 
 	b := isa.NewBuilder(flat, eveEng.HWVL(), &sink{core: core, engine: eveEng})
@@ -256,6 +314,7 @@ func RunEVE(ecfg eve.Config, h *mem.Hierarchy, k *workloads.Kernel) Result {
 	res.SpawnCost = eveEng.SpawnCost()
 	res.EnergyEq = eveEng.EnergyReadEq()
 	res.LLC = h.LLC.Stats()
+	res.Stats = reg.Snapshot()
 	return res
 }
 

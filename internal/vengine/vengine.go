@@ -9,6 +9,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/probe"
 )
 
 // Engine is the interface the system simulator drives: committed vector
@@ -28,7 +29,13 @@ type Engine interface {
 // scalar accesses through the LSQ (§VII-A).
 type IV struct {
 	core *cpu.Core
+
+	Instrs uint64
 }
+
+// ProbeStats implements probe.Source. The IV's timing lives entirely in the
+// host core, so only the vector instruction count is its own.
+func (v *IV) ProbeStats(s *probe.Scope) { s.CounterU("instrs", v.Instrs) }
 
 // IVHWVL is the integrated unit's hardware vector length.
 const IVHWVL = 4
@@ -45,6 +52,7 @@ func (v *IV) Drain() int64 { return 0 }
 // Handle implements Engine by expanding the vector instruction into core
 // operations.
 func (v *IV) Handle(in *isa.Instr, _ int64) int64 {
+	v.Instrs++
 	switch {
 	case in.Op == isa.OpSetVL || in.Op == isa.OpFence ||
 		in.Op == isa.OpMvXS || in.Op == isa.OpMvSX:
@@ -139,11 +147,27 @@ type DV struct {
 	qHead int
 
 	Instrs uint64
+
+	tr  probe.Emitter // "dv": per-instruction commit events
+	vmu probe.Emitter // "dv.vmu": load/store request streams
 }
 
 // NewDV builds a decoupled engine issuing into the given L2-side port.
 func NewDV(cfg DVConfig, l2 mem.Level) *DV {
 	return &DV{cfg: cfg, l2: l2}
+}
+
+// SetTracer attaches a per-run event tracer (nil to disable); the engine
+// emits instruction commits under "dv" and memory traffic under "dv.vmu".
+func (d *DV) SetTracer(tr probe.Tracer) {
+	d.tr = probe.NewEmitter(tr, "dv")
+	d.vmu = probe.NewEmitter(tr, "dv.vmu")
+}
+
+// ProbeStats implements probe.Source.
+func (d *DV) ProbeStats(s *probe.Scope) {
+	s.CounterU("instrs", d.Instrs)
+	s.Counter("cycles", d.clock)
 }
 
 // HWVL implements Engine.
@@ -221,7 +245,7 @@ func (d *DV) Handle(in *isa.Instr, arrival int64) int64 {
 		if reply > block {
 			block = reply
 		}
-		return block
+		return d.commit(in, arrival, block)
 	default:
 		d.wait(d.ready[in.Vs1])
 		if in.Kind == isa.KindVV {
@@ -244,6 +268,24 @@ func (d *DV) Handle(in *isa.Instr, arrival int64) int64 {
 	block := d.enqueue(d.clock)
 	if reply > block {
 		block = reply
+	}
+	return d.commit(in, arrival, block)
+}
+
+// commit emits the instruction's KInstr trace event and passes the core
+// block time through.
+func (d *DV) commit(in *isa.Instr, arrival, block int64) int64 {
+	if d.tr.On() {
+		d.tr.Emit(probe.Event{
+			Kind:  probe.KInstr,
+			Name:  isa.Disassemble(in),
+			Begin: arrival,
+			End:   d.clock,
+			Seq:   d.Instrs,
+			VL:    in.VL,
+			Aux:   d.dclock,
+			Aux2:  block,
+		})
 	}
 	return block
 }
@@ -324,6 +366,10 @@ func (d *DV) memory(in *isa.Instr) int64 {
 		if done > d.lastStW {
 			d.lastStW = done
 		}
+		if d.vmu.On() {
+			d.vmu.Emit(probe.Event{Kind: probe.KAccess, Name: "store",
+				Begin: issueAt, End: done, Addr: in.Addr, VL: in.VL, Aux: int64(len(lines))})
+		}
 		return gen
 	}
 
@@ -342,6 +388,10 @@ func (d *DV) memory(in *isa.Instr) int64 {
 	d.ready[in.Vd] = done
 	if done > d.lastLoad {
 		d.lastLoad = done
+	}
+	if d.vmu.On() {
+		d.vmu.Emit(probe.Event{Kind: probe.KAccess, Name: "load",
+			Begin: start, End: done, Addr: in.Addr, VL: in.VL, Aux: int64(len(lines))})
 	}
 	return t
 }
