@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	ieve "repro/internal/eve"
+	"repro/internal/metrics"
 	"repro/internal/probe"
 	"repro/internal/report"
 	"repro/internal/sim"
@@ -44,6 +45,12 @@ type jsonResult struct {
 	// Mem carries the per-level memory-hierarchy counters (l1d, l2, llc,
 	// dram) pulled from the run's stats registry.
 	Mem map[string]jsonMemLevel `json:"mem,omitempty"`
+	// Derived carries the interpreted metric set (per-level miss rate, MPKI,
+	// AMAT, stall fractions, DRAM bandwidth utilization, Fig 7 shares)
+	// computed by internal/metrics; underivable ratios are 0 with the
+	// degenerate flag set, so the field always marshals. Omitted for crashed
+	// cells, whose snapshot is empty.
+	Derived *metrics.Derived `json:"derived,omitempty"`
 	// Error carries the cell's validation failure (or recovered panic),
 	// truncated to its stable first line. A cell with an error still emits
 	// its row, so one bad cell never hides the rest of the matrix.
@@ -126,6 +133,10 @@ func buildJSON(results [][]sim.Result) ([]jsonResult, error) {
 				SpawnCost:     r.SpawnCost,
 				EnergyReadEq:  r.EnergyEq,
 				Mem:           memJSON(r.Stats),
+			}
+			if len(r.Stats) > 0 {
+				d := metrics.Derive(r.Stats, r.Cycles)
+				jr.Derived = &d
 			}
 			if io > 0 && r.Cycles > 0 {
 				jr.SpeedupVsIO = io / float64(r.Cycles)

@@ -2,15 +2,18 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 	"testing"
 
 	"repro/internal/isa"
+	"repro/internal/probe"
 	"repro/internal/sim"
 	"repro/internal/sweep"
 	"repro/internal/workloads"
@@ -121,6 +124,65 @@ func TestFailingCellJSONGolden(t *testing.T) {
 		if strings.ContainsRune(m, '\n') {
 			t.Errorf("failure message contains a newline (stack leaked): %q", m)
 		}
+	}
+}
+
+// TestDegenerateCellDerivedMetricsMarshal pins the derived-metric guard: a
+// cell with a populated snapshot but zero cycles (and zero-access cache
+// levels) must emit derived metrics as 0 with "degenerate": true — Go's
+// encoding/json errors on NaN/Inf, so an unguarded division would make the
+// whole matrix unemittable.
+func TestDegenerateCellDerivedMetricsMarshal(t *testing.T) {
+	reg := probe.NewRegistry()
+	reg.Register("core", constStats{"insts": 0})
+	reg.Register("l1d", constStats{"accesses": 0, "misses": 0})
+	deg := sim.Result{
+		System: sim.Config{Kind: sim.SysIO}.Name(),
+		Kernel: "degenerate",
+		Cycles: 0,
+		Stats:  reg.Snapshot(),
+		Err:    fmt.Errorf("synthetic zero-cycle cell"),
+	}
+	var buf bytes.Buffer
+	if err := emitJSON(&buf, [][]sim.Result{{deg}}); err != nil {
+		t.Fatalf("emitJSON over a degenerate cell: %v", err)
+	}
+	out := buf.String()
+	for _, bad := range []string{"NaN", "Inf"} {
+		if strings.Contains(out, bad) {
+			t.Errorf("degenerate cell emitted %s:\n%s", bad, out)
+		}
+	}
+	if !strings.Contains(out, `"degenerate": true`) {
+		t.Errorf("degenerate cell not flagged in JSON:\n%s", out)
+	}
+	var rows []jsonResult
+	if err := json.Unmarshal(buf.Bytes(), &rows); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v", err)
+	}
+	if len(rows) != 1 || rows[0].Derived == nil {
+		t.Fatalf("degenerate cell lost its derived block: %+v", rows)
+	}
+	d := rows[0].Derived
+	if !d.Degenerate {
+		t.Error("zero-cycle cell's Derived.Degenerate is false")
+	}
+	if d.AMAT != 0 || d.DRAMBusUtil != 0 || d.L1D.MissRate != 0 {
+		t.Errorf("degenerate cell derived non-zero ratios: %+v", d)
+	}
+}
+
+// constStats is a minimal probe source for synthetic snapshots.
+type constStats map[string]int64
+
+func (m constStats) ProbeStats(s *probe.Scope) {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		s.Counter(n, m[n])
 	}
 }
 

@@ -4,12 +4,15 @@
 //
 //	evesim -system=O3+EVE-8 -kernel=pathfinder
 //	evesim -system=O3+DV -kernel=sw -baseline=IO
+//	evesim -system=O3+EVE-8 -kernel=vvadd -stats=text -stats-filter=l2.mshr.
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -19,23 +22,39 @@ import (
 )
 
 func main() {
-	sysName := flag.String("system", "O3+EVE-8", "system to simulate (IO, O3, O3+IV, O3+DV, O3+EVE-{1,2,4,8,16,32})")
-	kernel := flag.String("kernel", "vvadd", "benchmark kernel (vvadd, mmult, k-means, pathfinder, jacobi-2d, backprop, sw)")
-	baseline := flag.String("baseline", "IO", "baseline system for the speedup report (empty to skip)")
-	statsFmt := flag.String("stats", "", "dump the per-component stats registry: text or json")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "evesim:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the command body, parameterized for tests. Output goes through a
+// bufio.Writer so per-line write errors latch and surface once at Flush.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("evesim", flag.ContinueOnError)
+	sysName := fs.String("system", "O3+EVE-8", "system to simulate (IO, O3, O3+IV, O3+DV, O3+EVE-{1,2,4,8,16,32})")
+	kernel := fs.String("kernel", "vvadd", "benchmark kernel (vvadd, mmult, k-means, pathfinder, jacobi-2d, backprop, sw)")
+	baseline := fs.String("baseline", "IO", "baseline system for the speedup report (empty to skip)")
+	statsFmt := fs.String("stats", "", "dump the per-component stats registry: text or json")
+	statsFilter := fs.String("stats-filter", "", "restrict the -stats dump to one dotted-path subtree (e.g. l2.mshr. or eve.breakdown.)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *statsFmt != "" && *statsFmt != "text" && *statsFmt != "json" {
-		fatal(fmt.Errorf("unknown -stats format %q (want text or json)", *statsFmt))
+		return fmt.Errorf("unknown -stats format %q (want text or json)", *statsFmt)
+	}
+	if *statsFilter != "" && *statsFmt == "" {
+		return fmt.Errorf("-stats-filter requires -stats=text or -stats=json")
 	}
 
 	sys, err := parseSystem(*sysName)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	b, err := eve.BenchmarkByName(*kernel)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	// Simulate the target and the baseline as one parallel sweep: the two
@@ -46,24 +65,25 @@ func main() {
 	if compare {
 		bSys, err := parseSystem(*baseline)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		systems = append(systems, bSys)
 	}
 	matrix, err := eve.SimulateMatrix(systems, []eve.Benchmark{b}, len(systems))
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	res := matrix[0][0]
-	fmt.Printf("kernel        %s (%s)\n", b.Name(), b.Input())
-	fmt.Printf("system        %s (area %.2fx of O3)\n", res.System, sys.AreaFactor())
-	fmt.Printf("cycles        %d\n", res.Cycles)
-	fmt.Printf("dyn. instrs   %d (%.0f%% vector)\n", res.DynamicInstrs, 100*res.VectorPct)
-	fmt.Printf("total ops     %d\n", res.TotalOps)
+	w := bufio.NewWriter(stdout)
+	fmt.Fprintf(w, "kernel        %s (%s)\n", b.Name(), b.Input())
+	fmt.Fprintf(w, "system        %s (area %.2fx of O3)\n", res.System, sys.AreaFactor())
+	fmt.Fprintf(w, "cycles        %d\n", res.Cycles)
+	fmt.Fprintf(w, "dyn. instrs   %d (%.0f%% vector)\n", res.DynamicInstrs, 100*res.VectorPct)
+	fmt.Fprintf(w, "total ops     %d\n", res.TotalOps)
 	if res.Breakdown != nil {
-		fmt.Printf("spawn cost    %d cycles\n", res.SpawnCost)
-		fmt.Printf("vmu stalls    %.1f%% of time (Fig 8 metric)\n", 100*res.VMUStallFraction)
-		fmt.Println("breakdown (Fig 7 categories):")
+		fmt.Fprintf(w, "spawn cost    %d cycles\n", res.SpawnCost)
+		fmt.Fprintf(w, "vmu stalls    %.1f%% of time (Fig 8 metric)\n", 100*res.VMUStallFraction)
+		fmt.Fprintln(w, "breakdown (Fig 7 categories):")
 		type kv struct {
 			k string
 			v int64
@@ -86,32 +106,40 @@ func main() {
 			if r.v == 0 {
 				continue
 			}
-			fmt.Printf("  %-14s %12d  (%.1f%%)\n", r.k, r.v, 100*float64(r.v)/float64(total))
+			fmt.Fprintf(w, "  %-14s %12d  (%.1f%%)\n", r.k, r.v, 100*float64(r.v)/float64(total))
 		}
 	}
 	if compare {
 		bRes := matrix[0][1]
-		fmt.Printf("speedup       %.2fx over %s (%d cycles)\n",
+		fmt.Fprintf(w, "speedup       %.2fx over %s (%d cycles)\n",
 			res.Speedup(bRes), bRes.System, bRes.Cycles)
 	}
 	if *statsFmt != "" {
-		if err := dumpStats(*statsFmt, res.Stats); err != nil {
-			fatal(err)
+		snap := res.Snapshot
+		if *statsFilter != "" {
+			snap = snap.Filter(*statsFilter)
+			if len(snap) == 0 {
+				return fmt.Errorf("no stats match -stats-filter=%q (try -stats=text without a filter to list paths)", *statsFilter)
+			}
+		}
+		if err := dumpStats(w, *statsFmt, snap.Flatten()); err != nil {
+			return err
 		}
 	}
+	return w.Flush()
 }
 
 // dumpStats renders the flattened registry snapshot deterministically: the
 // sorted gem5-style text report, or a JSON object (json.Marshal sorts map
 // keys, so both forms are byte-stable across runs).
-func dumpStats(format string, stats map[string]float64) error {
+func dumpStats(w io.Writer, format string, stats map[string]float64) error {
 	if format == "json" {
 		out, err := json.MarshalIndent(stats, "", "  ")
 		if err != nil {
 			return err
 		}
-		fmt.Println(string(out))
-		return nil
+		_, err = fmt.Fprintln(w, string(out))
+		return err
 	}
 	names := make([]string, 0, len(stats))
 	width := 0
@@ -122,9 +150,13 @@ func dumpStats(format string, stats map[string]float64) error {
 		}
 	}
 	sort.Strings(names)
-	fmt.Println("\nstats (per-component registry):")
+	if _, err := fmt.Fprintln(w, "\nstats (per-component registry):"); err != nil {
+		return err
+	}
 	for _, name := range names {
-		fmt.Printf("%-*s  %s\n", width, name, probe.FormatFloat(stats[name]))
+		if _, err := fmt.Fprintf(w, "%-*s  %s\n", width, name, probe.FormatFloat(stats[name])); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -136,9 +168,4 @@ func parseSystem(name string) (eve.System, error) {
 		}
 	}
 	return eve.System{}, fmt.Errorf("unknown system %q", name)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "evesim:", err)
-	os.Exit(1)
 }

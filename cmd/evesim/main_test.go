@@ -1,0 +1,67 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestStatsFilterCLISmoke drives the command body end to end: a real
+// simulation, the registry dump restricted to one subtree via -stats-filter.
+func TestStatsFilterCLISmoke(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-system=IO", "-kernel=vvadd", "-baseline=", "-stats=text", "-stats-filter=l2."}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "cycles") {
+		t.Errorf("summary header missing from output:\n%s", text)
+	}
+	if !strings.Contains(text, "l2.accesses") {
+		t.Errorf("filtered dump lacks l2.accesses:\n%s", text)
+	}
+	for _, leaked := range []string{"core.insts", "l1d.accesses", "llc.accesses", "dram.accesses"} {
+		if strings.Contains(text, leaked) {
+			t.Errorf("-stats-filter=l2. leaked %s:\n%s", leaked, text)
+		}
+	}
+}
+
+// TestStatsFilterJSONSubtree checks the JSON dump contains exactly the
+// requested subtree.
+func TestStatsFilterJSONSubtree(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-system=IO", "-kernel=vvadd", "-baseline=", "-stats=json", "-stats-filter=l2.mshr."}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	start := strings.IndexByte(text, '{')
+	if start < 0 {
+		t.Fatalf("no JSON object in output:\n%s", text)
+	}
+	var stats map[string]float64
+	if err := json.Unmarshal([]byte(text[start:]), &stats); err != nil {
+		t.Fatalf("stats JSON does not parse: %v\n%s", err, text)
+	}
+	if len(stats) == 0 {
+		t.Fatal("filtered JSON dump is empty")
+	}
+	for name := range stats {
+		if !strings.HasPrefix(name, "l2.mshr.") {
+			t.Errorf("key %q escaped the l2.mshr. filter", name)
+		}
+	}
+}
+
+func TestStatsFilterFlagValidation(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-stats-filter=l2."}, &out); err == nil {
+		t.Error("-stats-filter without -stats was accepted")
+	}
+	err := run([]string{"-system=IO", "-kernel=vvadd", "-baseline=", "-stats=text", "-stats-filter=nosuch."}, &out)
+	if err == nil || !strings.Contains(err.Error(), "no stats match") {
+		t.Errorf("absent filter prefix error = %v, want a 'no stats match' error", err)
+	}
+}

@@ -22,6 +22,8 @@ import (
 	"repro/internal/analytic"
 	ieve "repro/internal/eve"
 	"repro/internal/mem"
+	"repro/internal/metrics"
+	"repro/internal/probe"
 	"repro/internal/sim"
 	"repro/internal/sweep"
 	"repro/internal/workloads"
@@ -131,6 +133,19 @@ type Result struct {
 	// eve.breakdown.busy, ...); distributions expand to .count/.sum/.min/
 	// .max/.mean keys. See internal/probe for the naming scheme.
 	Stats map[string]float64
+	// Snapshot is the same end-of-run registry snapshot in structured form:
+	// sorted entries supporting prefix queries (Snapshot.Filter("l2.")),
+	// typed lookups and the gem5-style text report. Stats is its Flatten.
+	Snapshot probe.Stats
+}
+
+// Derived computes the interpreted metric set for this result — per-level
+// miss rates, MPKI, AMAT, stall fractions, DRAM bandwidth utilization and
+// Fig 7 category shares — via the internal/metrics derivation layer.
+// Underivable ratios (a crashed or access-free run) come back as 0 with the
+// Degenerate flags set; see metrics.Derived.
+func (r Result) Derived() metrics.Derived {
+	return metrics.Derive(r.Snapshot, r.Cycles)
 }
 
 // Simulate runs the benchmark on the system, validating the computation's
@@ -156,6 +171,7 @@ func fromSimResult(r sim.Result) Result {
 		VMUStallFraction: r.VMUStall,
 		SpawnCost:        r.SpawnCost,
 		Stats:            r.Stats.Flatten(),
+		Snapshot:         r.Stats,
 	}
 	if r.Breakdown.Total() > 0 {
 		out.Breakdown = Breakdown{}

@@ -19,6 +19,10 @@ var SimpurityPackages = []string{
 	"repro/internal/sweep",
 	"repro/internal/faults",
 	"repro/internal/probe",
+	// internal/metrics is a pure derivation layer over probe snapshots; its
+	// outputs land verbatim in bit-stable bench reports, so it is bound by
+	// both contracts (ProbepurityPackages includes this list wholesale).
+	"repro/internal/metrics",
 }
 
 // Simpurity enforces the purity contract documented on sim.Run: simulation

@@ -97,6 +97,21 @@ func (s Stats) Get(name string) (Stat, bool) {
 	return Stat{}, false
 }
 
+// Filter returns the sub-snapshot of entries whose dotted name starts with
+// prefix — one component subtree ("l2."), one stat family ("eve.breakdown."),
+// or a single entry when the prefix is a full name. Entries are sorted, so
+// the matching range is contiguous and the result shares the snapshot's
+// backing array: filtering allocates nothing and the result supports every
+// Stats query (Get, Int, Float, Flatten, WriteText, further Filters).
+func (s Stats) Filter(prefix string) Stats {
+	lo := sort.Search(len(s), func(i int) bool { return s[i].Name >= prefix })
+	hi := lo
+	for hi < len(s) && strings.HasPrefix(s[hi].Name, prefix) {
+		hi++
+	}
+	return s[lo:hi]
+}
+
 // Int returns a counter's value by name.
 func (s Stats) Int(name string) (int64, bool) {
 	st, ok := s.Get(name)

@@ -243,3 +243,50 @@ func TestWritePerfettoDeterministic(t *testing.T) {
 		t.Error("two renderings of the same events differ")
 	}
 }
+
+func TestFilterSelectsPrefixSubtree(t *testing.T) {
+	r := NewRegistry()
+	r.Register("l2", fakeSource{"accesses": 10, "misses": 7})
+	r.Register("l2x", fakeSource{"accesses": 3})
+	r.Register("core", fakeSource{"insts": 42})
+	st := r.Snapshot()
+
+	sub := st.Filter("l2.")
+	if len(sub) != 2 {
+		t.Fatalf("Filter(\"l2.\") has %d entries, want 2: %v", len(sub), sub)
+	}
+	for _, s := range sub {
+		if !strings.HasPrefix(s.Name, "l2.") {
+			t.Errorf("entry %q escaped the l2. prefix", s.Name)
+		}
+	}
+	if v, ok := sub.Int("l2.misses"); !ok || v != 7 {
+		t.Errorf("filtered l2.misses = %d, %v; want 7, true", v, ok)
+	}
+	// The "l2." prefix must not capture the sibling component "l2x".
+	if _, ok := sub.Get("l2x.accesses"); ok {
+		t.Error("Filter(\"l2.\") captured the l2x component")
+	}
+
+	// A full stat name is a valid prefix selecting exactly that entry.
+	one := st.Filter("core.insts")
+	if len(one) != 1 || one[0].Name != "core.insts" {
+		t.Errorf("Filter(full name) = %v, want the single core.insts entry", one)
+	}
+
+	// Filters compose: narrowing an already-filtered snapshot works.
+	if again := sub.Filter("l2.misses"); len(again) != 1 {
+		t.Errorf("Filter of a filtered snapshot = %v, want 1 entry", again)
+	}
+
+	if got := st.Filter("nosuch."); len(got) != 0 {
+		t.Errorf("Filter on an absent prefix = %v, want empty", got)
+	}
+	if got := Stats(nil).Filter("l2."); len(got) != 0 {
+		t.Errorf("Filter on an empty snapshot = %v, want empty", got)
+	}
+	// The empty prefix selects everything.
+	if got := st.Filter(""); len(got) != len(st) {
+		t.Errorf("Filter(\"\") kept %d of %d entries", len(got), len(st))
+	}
+}
