@@ -2,7 +2,7 @@
 // al., HPCA 2023) as a Go library: a bit-level functional model of the
 // SRAM compute-in-memory circuits and micro-programs, cycle-approximate
 // models of the EVE micro-architecture and its scalar/vector baselines, the
-// seven-kernel benchmark suite, and a harness regenerating every table and
+// ten-kernel benchmark suite, and a harness regenerating every table and
 // figure of the paper's evaluation.
 //
 // The public API lives in repro/eve; see README.md for the layout and

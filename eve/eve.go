@@ -77,10 +77,11 @@ func (s System) AreaFactor() float64 {
 	return analytic.SystemAreaFactor(s.Name())
 }
 
-// Benchmark is one of the paper's Table IV kernels.
+// Benchmark is one of the suite's kernels: the paper's Table IV seven plus
+// the RiVEC-breadth extensions (spmv, streamcluster-dist, redux).
 type Benchmark struct{ k *workloads.Kernel }
 
-// Benchmarks returns the seven-kernel suite at the standard scaled sizes.
+// Benchmarks returns the ten-kernel suite at the standard scaled sizes.
 func Benchmarks() []Benchmark {
 	ks := workloads.Default()
 	out := make([]Benchmark, len(ks))
@@ -91,7 +92,7 @@ func Benchmarks() []Benchmark {
 }
 
 // BenchmarkByName finds a suite kernel: vvadd, mmult, k-means, pathfinder,
-// jacobi-2d, backprop or sw.
+// jacobi-2d, backprop, sw, spmv, streamcluster-dist or redux.
 func BenchmarkByName(name string) (Benchmark, error) {
 	k, err := workloads.ByName(workloads.Default(), name)
 	if err != nil {

@@ -84,8 +84,8 @@ func TestSimulateBenchmark(t *testing.T) {
 
 func TestBenchmarkRegistry(t *testing.T) {
 	bs := Benchmarks()
-	if len(bs) != 7 {
-		t.Fatalf("%d benchmarks, want 7", len(bs))
+	if len(bs) != 10 {
+		t.Fatalf("%d benchmarks, want 10", len(bs))
 	}
 	geo := 0
 	for _, b := range bs {

@@ -56,11 +56,11 @@ func TestTableAlignsColumns(t *testing.T) {
 
 func TestSuiteOfCoversTableIVTaxonomy(t *testing.T) {
 	cases := map[string]string{
-		"vvadd": "k", "mmult": "k",
+		"vvadd": "k", "mmult": "k", "spmv": "k", "redux": "k",
 		"k-means": "ro", "pathfinder": "ro", "backprop": "ro",
-		"jacobi-2d": "rv",
-		"sw":        "g",
-		"unknown":   "?",
+		"jacobi-2d": "rv", "streamcluster-dist": "rv",
+		"sw":      "g",
+		"unknown": "?",
 	}
 	for kernel, want := range cases {
 		if got := suiteOf(kernel); got != want {

@@ -434,11 +434,11 @@ func indexOf(systems []sim.Config, name string) int {
 
 func suiteOf(kernel string) string {
 	switch kernel {
-	case "vvadd", "mmult":
+	case "vvadd", "mmult", "spmv", "redux":
 		return "k"
 	case "k-means", "pathfinder", "backprop":
 		return "ro"
-	case "jacobi-2d":
+	case "jacobi-2d", "streamcluster-dist":
 		return "rv"
 	case "sw":
 		return "g"

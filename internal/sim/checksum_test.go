@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// TestScalarVectorMemChecksumsAgree runs every kernel of the Small suite on
+// a scalar group (IO, O3) and a vector group (O3+IV, O3+DV, O3+EVE-8) and
+// compares the end-of-run flat-memory checksums RunTraced reports. Within a
+// group the checksum must be identical — the implementation is the same, so
+// any difference is a simulator-state leak into architectural memory. Across
+// groups the images must also match for every kernel except sw, whose scalar
+// form keeps the anti-diagonal DP buffers host-side instead of in simulated
+// memory (workloads.Families pins the same exception for the functional
+// harness).
+func TestScalarVectorMemChecksumsAgree(t *testing.T) {
+	scalarCfgs := []Config{{Kind: SysIO}, {Kind: SysO3}}
+	vectorCfgs := []Config{{Kind: SysO3IV}, {Kind: SysO3DV}, {Kind: SysO3EVE, N: 8}}
+	for _, k := range workloads.Small() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			t.Parallel()
+			sum := func(cfg Config) uint64 {
+				r := RunTraced(cfg, k, nil)
+				if r.Err != nil {
+					t.Fatalf("%s: %v", cfg.Name(), r.Err)
+				}
+				if r.MemChecksum == 0 {
+					t.Fatalf("%s: RunTraced returned zero checksum", cfg.Name())
+				}
+				return r.MemChecksum
+			}
+			scalar := sum(scalarCfgs[0])
+			for _, cfg := range scalarCfgs[1:] {
+				if s := sum(cfg); s != scalar {
+					t.Errorf("scalar group diverges: %s %#x vs %s %#x",
+						cfg.Name(), s, scalarCfgs[0].Name(), scalar)
+				}
+			}
+			vector := sum(vectorCfgs[0])
+			for _, cfg := range vectorCfgs[1:] {
+				if s := sum(cfg); s != vector {
+					t.Errorf("vector group diverges: %s %#x vs %s %#x",
+						cfg.Name(), s, vectorCfgs[0].Name(), vector)
+				}
+			}
+			if memEquiv := k.Name != "sw"; memEquiv != (scalar == vector) {
+				t.Errorf("cross-group checksums: scalar %#x vector %#x, want equal=%v",
+					scalar, vector, memEquiv)
+			}
+		})
+	}
+}

@@ -12,7 +12,9 @@ import (
 // with hid ≥ 16 no two elements share a cacheline, the pathology behind
 // backprop's >90% VMU cache-induced stalls in Fig 8 ("strided-memory
 // operations with a very large stride").
-func NewBackprop(in, hid int) *Kernel {
+func NewBackprop(in, hid int) *Kernel { return newBackprop(in, hid, 0) }
+
+func newBackprop(in, hid int, seed uint64) *Kernel {
 	return &Kernel{
 		Name:  "backprop",
 		Suite: "ro",
@@ -22,7 +24,7 @@ func NewBackprop(in, hid int) *Kernel {
 			input := f.AllocU32(in)
 			w := f.AllocU32(in * hid)
 			hidden := f.AllocU32(hid)
-			rng := lcg(57)
+			rng := mixSeed(57, seed)
 			X := make([]uint32, in)
 			W := make([]uint32, in*hid)
 			for i := range X {
@@ -54,6 +56,10 @@ func NewBackprop(in, hid int) *Kernel {
 						b.ScalarOps(3)
 						i0 += vl
 					}
+					// The accumulator holds live partials in min(in, HWVL)
+					// lanes, but the final strip may have shrunk VL to the
+					// tail; restore the full coverage before folding.
+					reduceVL(b, in)
 					b.MvSX(5, 0)
 					b.RedSum(6, 4, 5)
 					hj := b.MvXS(6)

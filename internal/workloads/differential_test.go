@@ -1,0 +1,133 @@
+package workloads
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// runFunctional executes one implementation of k at the given hardware
+// vector length on a fresh flat memory and returns the post-run checksum.
+func runFunctional(t testing.TB, k *Kernel, vector bool, hwvl int) uint64 {
+	t.Helper()
+	f := mem.NewFlat(64 << 20)
+	b := isa.NewBuilder(f, hwvl, nil)
+	check := k.Run(b, vector)
+	kind := "scalar"
+	if vector {
+		kind = fmt.Sprintf("vector HWVL=%d", hwvl)
+	}
+	if err := check(); err != nil {
+		t.Fatalf("%s %s: checker failed: %v", k.Name, kind, err)
+	}
+	return f.Checksum()
+}
+
+// TestScalarVectorAgree is the differential conformance harness: every
+// kernel family runs scalar-vs-vector across randomized seeds and a spread
+// of input scales — deliberately including trip counts that divide no
+// hardware vector length, so strip-mining tails are always live — and the
+// harness asserts three properties per cell:
+//
+//  1. both implementations pass the kernel's golden checker;
+//  2. the vector implementation's final memory image is invariant across
+//     hardware vector lengths (strip-mining must not leak into results);
+//  3. where the family is MemEquiv, the scalar and vector images are
+//     bit-identical, so a single FNV-1a checksum separates the two
+//     implementations from any silent divergence.
+func TestScalarVectorAgree(t *testing.T) {
+	hwvls := []int{4, 64, 512}
+	scales := []int{34, 67, 101} // none divides any HWVL above
+	seeds := []uint64{1, 2, 3}
+	for _, fam := range Families() {
+		fam := fam
+		t.Run(fam.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, seed := range seeds {
+				for _, scale := range scales {
+					k := fam.Make(scale, seed)
+					scalarSum := runFunctional(t, k, false, 4)
+					var vecSum uint64
+					for i, hwvl := range hwvls {
+						sum := runFunctional(t, k, true, hwvl)
+						if i == 0 {
+							vecSum = sum
+						} else if sum != vecSum {
+							t.Errorf("seed=%d scale=%d: vector checksum differs across HWVLs: %#x (HWVL=%d) vs %#x (HWVL=%d)",
+								seed, scale, sum, hwvl, vecSum, hwvls[0])
+						}
+					}
+					if fam.MemEquiv && scalarSum != vecSum {
+						t.Errorf("seed=%d scale=%d: scalar checksum %#x != vector checksum %#x",
+							seed, scale, scalarSum, vecSum)
+					}
+					if !fam.MemEquiv && scalarSum == vecSum {
+						// sw's scalar form keeps DP buffers host-side; if the
+						// images ever converge the MemEquiv flag is stale.
+						t.Errorf("seed=%d scale=%d: family marked !MemEquiv but checksums agree; update Families()",
+							seed, scale)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFamiliesCoverSuite pins the Families registry against the Default
+// suite: every kernel in Default() must have a family (so the differential
+// harness cannot silently skip a new kernel), and family names must be
+// unique.
+func TestFamiliesCoverSuite(t *testing.T) {
+	fams := map[string]bool{}
+	for _, fam := range Families() {
+		if fams[fam.Name] {
+			t.Errorf("duplicate family %q", fam.Name)
+		}
+		fams[fam.Name] = true
+	}
+	for _, k := range Default() {
+		if !fams[k.Name] {
+			t.Errorf("kernel %q has no Families() entry", k.Name)
+		}
+	}
+}
+
+// TestFamilyScaleClamp pins Make's scale clamping: out-of-range scales must
+// come back runnable rather than exploding the fuzzer's runtime.
+func TestFamilyScaleClamp(t *testing.T) {
+	for _, fam := range Families() {
+		for _, scale := range []int{-7, 0, 1 << 30} {
+			k := fam.Make(scale, 1)
+			runFunctional(t, k, true, 64)
+		}
+	}
+}
+
+// FuzzKernelSizes derives an in-range kernel family, input scale and input
+// seed from the fuzz arguments and asserts the same scalar/vector agreement
+// properties as TestScalarVectorAgree on the single cell. The checked-in
+// corpus under testdata/fuzz/FuzzKernelSizes seeds one non-VL-multiple
+// scale per family.
+func FuzzKernelSizes(f *testing.F) {
+	fams := Families()
+	for i := range fams {
+		f.Add(uint16(i), uint16(50+3*i), uint64(i+1))
+	}
+	f.Fuzz(func(t *testing.T, famIdx, scale uint16, seed uint64) {
+		fam := fams[int(famIdx)%len(fams)]
+		k := fam.Make(int(scale), seed)
+		scalarSum := runFunctional(t, k, false, 4)
+		short := runFunctional(t, k, true, 4)
+		long := runFunctional(t, k, true, 64)
+		if short != long {
+			t.Errorf("%s scale=%d seed=%d: vector checksum differs across HWVLs: %#x vs %#x",
+				fam.Name, scale, seed, short, long)
+		}
+		if fam.MemEquiv && scalarSum != short {
+			t.Errorf("%s scale=%d seed=%d: scalar checksum %#x != vector %#x",
+				fam.Name, scale, seed, scalarSum, short)
+		}
+	})
+}

@@ -18,7 +18,9 @@ import (
 // and throughput for FP too? — and is exercised by BenchmarkFutureWorkFP32.
 // Comparing against IV/DV would require native FP pipe models, so the
 // kernel is only meaningful on scalar and EVE systems.
-func NewFPSaxpy(n int) *Kernel {
+func NewFPSaxpy(n int) *Kernel { return newFPSaxpy(n, 0) }
+
+func newFPSaxpy(n int, seed uint64) *Kernel {
 	const a = float32(2.5)
 	aBits := math.Float32bits(a)
 	return &Kernel{
@@ -28,7 +30,7 @@ func NewFPSaxpy(n int) *Kernel {
 		Run: func(b *isa.Builder, vector bool) CheckFunc {
 			f := b.Mem
 			xAddr, yAddr := f.AllocU32(n), f.AllocU32(n)
-			rng := lcg(0xF0)
+			rng := mixSeed(0xF0, seed)
 			want := make([]uint32, n)
 			for i := 0; i < n; i++ {
 				// Finite normal values with moderate exponents.

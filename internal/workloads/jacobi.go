@@ -14,7 +14,9 @@ import (
 // The ×4 center weight is strength-reduced to a shift, as LLVM's vectorizer
 // does — our integer stencil therefore shows no imul, unlike the paper's
 // fixed-point variant (recorded in EXPERIMENTS.md).
-func NewJacobi2D(n, iters int) *Kernel {
+func NewJacobi2D(n, iters int) *Kernel { return newJacobi2D(n, iters, 0) }
+
+func newJacobi2D(n, iters int, seed uint64) *Kernel {
 	stride := n + 2 // padded row length
 	return &Kernel{
 		Name:  "jacobi-2d",
@@ -24,7 +26,7 @@ func NewJacobi2D(n, iters int) *Kernel {
 			f := b.Mem
 			gridA := f.AllocU32(stride * stride)
 			gridB := f.AllocU32(stride * stride)
-			rng := lcg(41)
+			rng := mixSeed(41, seed)
 			A := make([]uint32, stride*stride)
 			for i := 1; i <= n; i++ {
 				for j := 1; j <= n; j++ {

@@ -13,7 +13,9 @@ import (
 // cacheline, the access pattern behind k-means' VMU cache-induced stalls in
 // Fig 8. Cluster selection uses predicated merges (Table IV: prd ≈ 1%,
 // idx/st traffic).
-func NewKMeans(n, f, k int) *Kernel {
+func NewKMeans(n, f, k int) *Kernel { return newKMeans(n, f, k, 0) }
+
+func newKMeans(n, f, k int, seed uint64) *Kernel {
 	return &Kernel{
 		Name:  "k-means",
 		Suite: "ro",
@@ -23,7 +25,7 @@ func NewKMeans(n, f, k int) *Kernel {
 			pts := mf.AllocU32(n * f)
 			cent := mf.AllocU32(k * f)
 			assign := mf.AllocU32(n)
-			rng := lcg(13)
+			rng := mixSeed(13, seed)
 			P := make([]uint32, n*f)
 			C := make([]uint32, k*f)
 			for i := range P {

@@ -20,6 +20,10 @@ func NewMMult(dims ...int) *Kernel {
 	case 3:
 		m, kk, n = dims[0], dims[1], dims[2]
 	}
+	return newMMult(m, kk, n, 0)
+}
+
+func newMMult(m, kk, n int, seed uint64) *Kernel {
 	return &Kernel{
 		Name:  "mmult",
 		Suite: "k",
@@ -27,7 +31,7 @@ func NewMMult(dims ...int) *Kernel {
 		Run: func(b *isa.Builder, vector bool) CheckFunc {
 			f := b.Mem
 			aAddr, bAddr, cAddr := f.AllocU32(m*kk), f.AllocU32(kk*n), f.AllocU32(m*n)
-			rng := lcg(7)
+			rng := mixSeed(7, seed)
 			A := make([]uint32, m*kk)
 			B := make([]uint32, kk*n)
 			for i := range A {

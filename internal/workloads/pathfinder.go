@@ -12,7 +12,9 @@ import (
 // overlapping shifted windows of the previous row and selects minima with
 // predicated compare+merge pairs, giving the suite's highest predication
 // share (Table IV: prd = 25%). Row boundaries use +inf sentinels.
-func NewPathfinder(rows, cols int) *Kernel {
+func NewPathfinder(rows, cols int) *Kernel { return newPathfinder(rows, cols, 0) }
+
+func newPathfinder(rows, cols int, seed uint64) *Kernel {
 	const inf = uint32(1 << 30)
 	return &Kernel{
 		Name:  "pathfinder",
@@ -24,7 +26,7 @@ func NewPathfinder(rows, cols int) *Kernel {
 			wall := f.AllocU32(rows * cols)
 			src := f.AllocU32(cols + 2)
 			dst := f.AllocU32(cols + 2)
-			rng := lcg(29)
+			rng := mixSeed(29, seed)
 			W := make([]uint32, rows*cols)
 			for i := range W {
 				W[i] = rng.nextSmall(10)

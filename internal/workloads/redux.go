@@ -1,0 +1,95 @@
+package workloads
+
+import (
+	"repro/internal/isa"
+)
+
+// NewRedux builds a blocked reduction kernel: the sum and the unsigned max
+// of an n-element array. The strip loop keeps both partials resident in
+// vector lanes (one vadd and one vmaxu per strip), the sum then collapses
+// with a single vredsum, and the max with an explicit log-depth gather
+// tree — vid/vadd/vrgather/vmaxu per level, halving the live width each
+// step — so the kernel's tail is a chain of cross-element μops whose
+// serial depth grows with log2(VL). That makes redux the suite's probe for
+// EVE's reduction/slide handling: longer hardware vectors shrink the strip
+// loop but lengthen the dependent fold, the tension Fig. 7's reduction
+// discussion turns on.
+func NewRedux(n int) *Kernel { return newRedux(n, 0) }
+
+func newRedux(n int, seed uint64) *Kernel {
+	return &Kernel{
+		Name:  "redux",
+		Suite: "k",
+		Input: itoa(n),
+		Run: func(b *isa.Builder, vector bool) CheckFunc {
+			f := b.Mem
+			data := f.AllocU32(n)
+			out := f.AllocU32(2) // [sum, max]
+			rng := mixSeed(0x5D, seed)
+			var wantSum, wantMax uint32
+			for i := 0; i < n; i++ {
+				v := rng.nextSmall(1 << 16)
+				f.StoreU32(data+uint64(4*i), v)
+				wantSum += v
+				if v > wantMax {
+					wantMax = v
+				}
+			}
+
+			if vector {
+				// Zero every lane the strips can touch: sums in v1, maxes
+				// in v2.
+				reduceVL(b, n)
+				b.MvVX(1, 0)
+				b.MvVX(2, 0)
+				for i0 := 0; i0 < n; {
+					vl := b.SetVL(n - i0)
+					b.Load(3, data+uint64(4*i0))
+					b.Add(1, 1, 3)
+					b.MaxU(2, 2, 3)
+					b.ScalarOps(3)
+					i0 += vl
+				}
+				// Sum: one vredsum over the full accumulator width.
+				reduceVL(b, n)
+				b.MvSX(6, 0)
+				b.RedSum(7, 1, 6)
+				sum := b.MvXS(7)
+				// Max: log-depth gather tree. Each level pulls the upper
+				// half down with vrgather (out-of-range lanes read 0, the
+				// identity for unsigned max) and folds with vmaxu.
+				for width := min(n, b.HWVL()); width > 1; {
+					half := (width + 1) / 2
+					b.SetVL(width)
+					b.VId(4)
+					b.AddVX(4, 4, uint32(half))
+					b.RGather(5, 2, 4)
+					b.MaxU(2, 2, 5)
+					b.ScalarOps(3)
+					width = half
+				}
+				maxv := b.MvXS(2)
+				b.ScalarOps(4)
+				b.Fence()
+				b.ScalarStore(out, sum)
+				b.ScalarStore(out+4, maxv)
+			} else {
+				var sum, maxv uint32
+				for i := 0; i < n; i++ {
+					v := b.ScalarLoad(data + uint64(4*i))
+					sum += v
+					if v > maxv {
+						maxv = v
+					}
+					b.ScalarOps(3)
+				}
+				b.ScalarOps(4)
+				b.ScalarStore(out, sum)
+				b.ScalarStore(out+4, maxv)
+			}
+			return func() error {
+				return checkU32(b, "redux", out, []uint32{wantSum, wantMax})
+			}
+		},
+	}
+}

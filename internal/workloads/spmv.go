@@ -1,0 +1,116 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// NewSpMV builds a CSR sparse matrix–vector product y = A·x over rows rows,
+// a column space of cols, and an average of nnzPerRow nonzeros per row (the
+// per-row count varies in [nnzPerRow/2, 3·nnzPerRow/2), so strip-mining
+// tails occur on nearly every row). The vectorized inner loop is the
+// canonical RVV CSR pattern: a unit-stride load of the row's column
+// indices, a shift to byte offsets, a vluxei32 gather of x, and a vmacc
+// against the unit-stride values — indexed-load traffic (Table IV's idx
+// class) whose random x accesses stress the VMU gather path and scatter
+// DRAM pages, the irregular-access regime ARCANE and the RiVEC suite
+// identify as the hard case for near-memory vector units.
+func NewSpMV(rows, cols, nnzPerRow int) *Kernel {
+	return newSpMV(rows, cols, nnzPerRow, 0)
+}
+
+func newSpMV(rows, cols, nnzPerRow int, seed uint64) *Kernel {
+	return &Kernel{
+		Name:  "spmv",
+		Suite: "k",
+		Input: fmt.Sprintf("%dx%d nnz/row~%d", rows, cols, nnzPerRow),
+		Run: func(b *isa.Builder, vector bool) CheckFunc {
+			f := b.Mem
+			rng := mixSeed(0x5B, seed)
+			// CSR structure: per-row nonzero counts first, so the column
+			// index and value streams can be allocated exactly.
+			nnz := make([]int, rows)
+			total := 0
+			half := max(nnzPerRow/2, 1)
+			for r := range nnz {
+				nnz[r] = half + int(rng.nextSmall(uint32(max(nnzPerRow, 1))))
+				total += nnz[r]
+			}
+			colIdx := f.AllocU32(total)
+			vals := f.AllocU32(total)
+			xAddr := f.AllocU32(cols)
+			yAddr := f.AllocU32(rows)
+			cis := make([]uint32, total)
+			vs := make([]uint32, total)
+			for i := range cis {
+				cis[i] = rng.nextSmall(uint32(cols))
+				vs[i] = rng.nextSmall(256)
+				f.StoreU32(colIdx+uint64(4*i), cis[i])
+				f.StoreU32(vals+uint64(4*i), vs[i])
+			}
+			xs := make([]uint32, cols)
+			for i := range xs {
+				xs[i] = rng.nextSmall(256)
+				f.StoreU32(xAddr+uint64(4*i), xs[i])
+			}
+			want := make([]uint32, rows)
+			p := 0
+			for r := 0; r < rows; r++ {
+				var acc uint32
+				for e := 0; e < nnz[r]; e++ {
+					acc += vs[p] * xs[cis[p]]
+					p++
+				}
+				want[r] = acc
+			}
+
+			if vector {
+				p := 0
+				for r := 0; r < rows; r++ {
+					nr := nnz[r]
+					// Zero every lane the row's strips can touch before
+					// accumulating.
+					reduceVL(b, nr)
+					b.MvVX(4, 0)
+					for e0 := 0; e0 < nr; {
+						vl := b.SetVL(nr - e0)
+						off := uint64(4 * (p + e0))
+						b.Load(1, colIdx+off)  // column indices
+						b.SllVX(2, 1, 2)       // element index -> byte offset
+						b.LoadIdx(3, xAddr, 2) // gather x[col]
+						b.Load(5, vals+off)    // matrix values
+						b.Macc(4, 3, 5)
+						b.ScalarOps(4) // row pointer, trip count, branch
+						e0 += vl
+					}
+					reduceVL(b, nr)
+					b.MvSX(6, 0)
+					b.RedSum(7, 4, 6)
+					yr := b.MvXS(7)
+					b.ScalarOps(3)
+					b.ScalarStore(yAddr+uint64(4*r), yr)
+					p += nr
+				}
+				b.Fence()
+			} else {
+				p := 0
+				for r := 0; r < rows; r++ {
+					var acc uint32
+					for e := 0; e < nnz[r]; e++ {
+						ci := b.ScalarLoad(colIdx + uint64(4*p))
+						v := b.ScalarLoad(vals + uint64(4*p))
+						x := b.ScalarLoad(xAddr + uint64(4*ci))
+						acc += v * x
+						b.ScalarMuls(1)
+						b.ScalarOps(3)
+						p++
+					}
+					b.ScalarOps(3)
+					b.ScalarStore(yAddr+uint64(4*r), acc)
+				}
+			}
+			return func() error { return checkU32(b, "spmv", yAddr, want) }
+		},
+	}
+}

@@ -1,0 +1,164 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// NewStreamclusterDist builds the streamcluster distance/assign phase from
+// the RiVEC port of PARSEC: n points with f features are assigned to the
+// nearest of k candidate centers, and per-center membership counts (the
+// cluster weights the pgain step consumes) are tallied afterwards. Points
+// are stored feature-major — feature j is a contiguous array of n elements
+// — so every vector access is unit-stride and the kernel's character is
+// pure control divergence: each candidate center ends in a vmslt mask
+// followed by predicated vmerge pairs keeping the nearer distance and its
+// center id, and the count pass is a vmseq mask feeding a masked select
+// into a vredsum. This is the suite's mask-dominated member, as
+// streamcluster is in RiVEC's characterization.
+func NewStreamclusterDist(n, f, k int) *Kernel {
+	return newStreamclusterDist(n, f, k, 0)
+}
+
+func newStreamclusterDist(n, f, k int, seed uint64) *Kernel {
+	return &Kernel{
+		Name:  "streamcluster-dist",
+		Suite: "rv",
+		Input: fmt.Sprintf("%dx%d k=%d", n, f, k),
+		Run: func(b *isa.Builder, vector bool) CheckFunc {
+			mf := b.Mem
+			pts := mf.AllocU32(n * f)  // feature-major: feature j at [j*n, (j+1)*n)
+			cent := mf.AllocU32(k * f) // center-major: center c at [c*f, (c+1)*f)
+			assign := mf.AllocU32(n)   // nearest center id
+			cost := mf.AllocU32(n)     // squared distance to it
+			counts := mf.AllocU32(k)   // members per center
+			rng := mixSeed(0x5C, seed)
+			P := make([]uint32, n*f)
+			C := make([]uint32, k*f)
+			for i := range P {
+				P[i] = rng.nextSmall(256)
+				mf.StoreU32(pts+uint64(4*i), P[i])
+			}
+			for i := range C {
+				C[i] = rng.nextSmall(256)
+				mf.StoreU32(cent+uint64(4*i), C[i])
+			}
+			// Reference assignment, cost and membership counts. Ties keep
+			// the earlier center (strict less-than), matching both
+			// implementations below.
+			wantAssign := make([]uint32, n)
+			wantCost := make([]uint32, n)
+			wantCounts := make([]uint32, k)
+			for p := 0; p < n; p++ {
+				var best uint32
+				bestK := uint32(0)
+				for c := 0; c < k; c++ {
+					var d uint32
+					for j := 0; j < f; j++ {
+						diff := P[j*n+p] - C[c*f+j]
+						d += diff * diff
+					}
+					if c == 0 || int32(d) < int32(best) {
+						best, bestK = d, uint32(c)
+					}
+				}
+				wantAssign[p] = bestK
+				wantCost[p] = best
+				wantCounts[bestK]++
+			}
+
+			if vector {
+				for p0 := 0; p0 < n; {
+					vl := b.SetVL(n - p0)
+					// Distance to a candidate center: unit-stride feature
+					// columns against scalar center coordinates.
+					dist := func(c, vd int) {
+						b.MvVX(vd, 0)
+						for j := 0; j < f; j++ {
+							b.Load(1, pts+uint64(4*(j*n+p0)))
+							cv := b.ScalarLoad(cent + uint64(4*(c*f+j)))
+							b.SubVX(2, 1, cv)
+							b.Macc(vd, 2, 2)
+							b.ScalarOps(2)
+						}
+					}
+					dist(0, 8)   // best distance so far
+					b.MvVX(9, 0) // best center id
+					for c := 1; c < k; c++ {
+						dist(c, 10)
+						// Keep the nearer distance and its center id.
+						b.MSlt(0, 10, 8)
+						b.Merge(8, 10, 8)
+						b.MvVX(11, uint32(c))
+						b.Merge(9, 11, 9)
+						b.ScalarOps(2)
+					}
+					b.Store(8, cost+uint64(4*p0))
+					b.Store(9, assign+uint64(4*p0))
+					b.ScalarOps(5)
+					p0 += vl
+				}
+				// Membership counts: per center, a vmseq mask over the
+				// assignment selects ones into a vredsum.
+				for c := 0; c < k; c++ {
+					var total uint32
+					for p0 := 0; p0 < n; {
+						vl := b.SetVL(n - p0)
+						b.Load(12, assign+uint64(4*p0))
+						b.MSeqVX(0, 12, uint32(c))
+						b.MvVX(13, 1)
+						b.MvVX(14, 0)
+						b.Merge(13, 13, 14) // 1 where assigned to c, else 0
+						b.MvSX(15, 0)
+						b.RedSum(16, 13, 15)
+						total += b.MvXS(16)
+						b.ScalarOps(3)
+						p0 += vl
+					}
+					b.ScalarStore(counts+uint64(4*c), total)
+					b.ScalarOps(2)
+				}
+				b.Fence()
+			} else {
+				counted := make([]uint32, k)
+				for p := 0; p < n; p++ {
+					var best uint32
+					bestK := uint32(0)
+					for c := 0; c < k; c++ {
+						var d uint32
+						for j := 0; j < f; j++ {
+							x := b.ScalarLoad(pts + uint64(4*(j*n+p)))
+							y := b.ScalarLoad(cent + uint64(4*(c*f+j)))
+							diff := x - y
+							d += diff * diff
+							b.ScalarMuls(1)
+							b.ScalarOps(2)
+						}
+						if c == 0 || int32(d) < int32(best) {
+							best, bestK = d, uint32(c)
+						}
+						b.ScalarOps(2)
+					}
+					b.ScalarStore(cost+uint64(4*p), best)
+					b.ScalarStore(assign+uint64(4*p), bestK)
+					counted[bestK]++
+					b.ScalarOps(2)
+				}
+				for c := 0; c < k; c++ {
+					b.ScalarOps(2)
+					b.ScalarStore(counts+uint64(4*c), counted[c])
+				}
+			}
+			return func() error {
+				if err := checkU32(b, "streamcluster-dist assign", assign, wantAssign); err != nil {
+					return err
+				}
+				if err := checkU32(b, "streamcluster-dist cost", cost, wantCost); err != nil {
+					return err
+				}
+				return checkU32(b, "streamcluster-dist counts", counts, wantCounts)
+			}
+		},
+	}
+}

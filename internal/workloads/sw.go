@@ -12,7 +12,9 @@ import (
 // database reversed with a negative constant stride, the substitution score
 // comes from a predicated compare+merge, and the running best score is
 // tracked with vredmax (Table IV: ialu-heavy with xe and st traffic).
-func NewSW(n int) *Kernel {
+func NewSW(n int) *Kernel { return newSW(n, 0) }
+
+func newSW(n int, seed uint64) *Kernel {
 	const (
 		match    = 2
 		mismatch = ^uint32(0) // -1
@@ -29,7 +31,7 @@ func NewSW(n int) *Kernel {
 			// Three diagonal buffers indexed by i in [0, n], zero-padded.
 			buf := [3]uint64{f.AllocU32(n + 2), f.AllocU32(n + 2), f.AllocU32(n + 2)}
 			out := f.AllocU32(1)
-			rng := lcg(73)
+			rng := mixSeed(73, seed)
 			A := make([]uint32, n+1)
 			B := make([]uint32, n+1)
 			for i := 1; i <= n; i++ {

@@ -6,7 +6,9 @@ import "repro/internal/isa"
 // It is the canonical memory-bound streaming kernel (paper: "vvadd is
 // inherently memory bound"), with two input streams and one output stream
 // and almost no arithmetic per byte.
-func NewVVAdd(n int) *Kernel {
+func NewVVAdd(n int) *Kernel { return newVVAdd(n, 0) }
+
+func newVVAdd(n int, seed uint64) *Kernel {
 	return &Kernel{
 		Name:  "vvadd",
 		Suite: "k",
@@ -15,7 +17,7 @@ func NewVVAdd(n int) *Kernel {
 			f := b.Mem
 			aAddr, bAddr, cAddr := f.AllocU32(n), f.AllocU32(n), f.AllocU32(n)
 			want := make([]uint32, n)
-			rng := lcg(0xA5)
+			rng := mixSeed(0xA5, seed)
 			for i := 0; i < n; i++ {
 				x, y := rng.next(), rng.next()
 				f.StoreU32(aAddr+uint64(4*i), x)

@@ -98,6 +98,20 @@ func TestMixReflectsKernelCharacter(t *testing.T) {
 	if m := mixOf(vv); m.ByClass[isa.ClassUS] == 0 || m.VectorOpPct() < 0.9 {
 		t.Error("vvadd must be unit-stride and almost fully vectorized")
 	}
+	sp, _ := ByName(ks, "spmv")
+	if m := mixOf(sp); m.ByClass[isa.ClassIdx] == 0 || m.ByClass[isa.ClassXE] == 0 {
+		t.Error("spmv must gather x through indexed loads and fold rows with reductions")
+	}
+	sc, _ := ByName(ks, "streamcluster-dist")
+	if m := mixOf(sc); m.Predicated == 0 || m.ByClass[isa.ClassUS] == 0 {
+		t.Error("streamcluster-dist must be mask-dominated over unit-stride feature columns")
+	} else if m.ByClass[isa.ClassIdx] != 0 {
+		t.Error("streamcluster-dist's feature-major layout must avoid indexed accesses")
+	}
+	rx, _ := ByName(ks, "redux")
+	if m := mixOf(rx); m.ByClass[isa.ClassXE] == 0 {
+		t.Error("redux must use cross-element reduction/gather-tree folding")
+	}
 }
 
 func TestByName(t *testing.T) {
@@ -105,8 +119,38 @@ func TestByName(t *testing.T) {
 	if _, err := ByName(ks, "vvadd"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ByName(ks, "nope"); err == nil {
+	err := func() error {
+		_, err := ByName(ks, "nope")
+		return err
+	}()
+	if err == nil {
 		t.Fatal("expected error for unknown kernel")
+	}
+	if want := `workloads: unknown kernel "nope"`; err.Error() != want {
+		t.Fatalf("error = %q, want %q", err, want)
+	}
+}
+
+// TestInGeomean pins the geomean set to the paper's Table IV note: the five
+// published kernels are in, and the post-paper extensions (plus the two
+// Table IV kernels the paper itself excludes) stay out so the reproduced
+// figure keeps its meaning.
+func TestInGeomean(t *testing.T) {
+	want := map[string]bool{
+		"k-means": true, "pathfinder": true, "jacobi-2d": true,
+		"backprop": true, "sw": true,
+		"vvadd": false, "mmult": false,
+		"spmv": false, "streamcluster-dist": false, "redux": false,
+	}
+	for _, k := range Small() {
+		in, ok := want[k.Name]
+		if !ok {
+			t.Errorf("kernel %q missing from the geomean expectation table", k.Name)
+			continue
+		}
+		if k.InGeomean() != in {
+			t.Errorf("%s: InGeomean() = %v, want %v", k.Name, k.InGeomean(), in)
+		}
 	}
 }
 
