@@ -1,5 +1,6 @@
 // Command evelint is the project's static-analysis gate: it runs the
-// internal/lint analyzer suite (simpurity, maporder, paramlit, errdrop)
+// internal/lint analyzer suite (simpurity, maporder, paramlit, errdrop,
+// hotalloc)
 // over type-checked packages and fails on any finding that is not
 // annotated with an //evelint:allow directive.
 //

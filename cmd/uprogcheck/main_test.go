@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestCleanSweep is the CLI face of the ROM gate: the full sweep reports
+// zero violations and the output is byte-deterministic across runs.
+func TestCleanSweep(t *testing.T) {
+	var first bytes.Buffer
+	if err := run(nil, &first); err != nil {
+		t.Fatalf("clean sweep failed: %v\n%s", err, first.String())
+	}
+	if strings.Contains(first.String(), "FAIL") {
+		t.Fatalf("clean sweep printed FAIL lines:\n%s", first.String())
+	}
+	if !strings.Contains(first.String(), " 0 with violations\n") {
+		t.Fatalf("summary line missing:\n%s", first.String())
+	}
+	var second bytes.Buffer
+	if err := run(nil, &second); err != nil {
+		t.Fatalf("second sweep failed: %v", err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Error("output is not deterministic across runs")
+	}
+}
+
+func TestFactorRestriction(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "8,32", "-v"}, &out); err != nil {
+		t.Fatalf("restricted sweep failed: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "vmv/n=8") || !strings.Contains(s, "vmv/n=32") {
+		t.Errorf("-v output missing expected cases:\n%s", s)
+	}
+	if strings.Contains(s, "n=16") {
+		t.Errorf("-n 8,32 sweep leaked n=16 cases:\n%s", s)
+	}
+	// -v lines carry the static cycle bound; vmv at EVE-8 measures 10.
+	if !strings.Contains(s, "vmv/n=8                      10 cycles") {
+		t.Errorf("verbose cycle bound line missing:\n%s", s)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "64"}, &out); err == nil {
+		t.Error("invalid factor 64 accepted (32%64 != 0)")
+	}
+	if err := run([]string{"-n", "bogus"}, &out); err == nil {
+		t.Error("non-numeric factor accepted")
+	}
+	if err := run([]string{"extra"}, &out); err == nil {
+		t.Error("positional argument accepted")
+	}
+}

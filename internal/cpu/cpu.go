@@ -138,6 +138,7 @@ func (c *Core) reserve(n int) int64 {
 	}
 	// Compact the drained prefix so the backing array can be reused.
 	if c.head > 1024 && c.head*2 > len(c.window) {
+		//evelint:allow hotalloc -- copies into the existing backing array; never grows
 		c.window = append(c.window[:0], c.window[c.head:]...)
 		c.head = 0
 	}
@@ -146,6 +147,7 @@ func (c *Core) reserve(n int) int64 {
 
 // retire records a batch's completion in the window.
 func (c *Core) retire(n int, done int64) {
+	//evelint:allow hotalloc -- amortized: reserve's compaction reuses the array, so growth converges
 	c.window = append(c.window, windowEntry{count: n, done: done})
 	c.inFlight += n
 	if done > c.maxDone {

@@ -59,3 +59,13 @@ func TestErrdropOutOfScope(t *testing.T) {
 	linttest.Run(t, lint.Errdrop, "repro/eve",
 		filepath.Join("testdata", "errdrop", "outofscope"))
 }
+
+func TestHotallocHotPath(t *testing.T) {
+	linttest.Run(t, lint.Hotalloc, "repro/internal/mem",
+		filepath.Join("testdata", "hotalloc", "hot"))
+}
+
+func TestHotallocColdPath(t *testing.T) {
+	linttest.Run(t, lint.Hotalloc, "repro/internal/report",
+		filepath.Join("testdata", "hotalloc", "cold"))
+}

@@ -18,6 +18,10 @@
 //     internal/cpu and internal/mem hot paths must flow from config/params
 //     structs or named constants (Table III provenance), not appear inline.
 //   - errdrop: no silently discarded error returns in internal/ and cmd/.
+//   - hotalloc: no heap allocation (make/new, growing appends, escaping
+//     composite literals, closures, interface boxing) on the per-cycle paths
+//     of the simulation models — the hot roots of internal/mem, internal/cpu,
+//     internal/vengine and internal/uprog plus everything they reach.
 //
 // The API deliberately mirrors golang.org/x/tools/go/analysis (Analyzer,
 // Pass, Diagnostic) so the suite could be rebased onto the upstream
@@ -78,7 +82,7 @@ type Diagnostic struct {
 }
 
 // Analyzers is the evelint suite in reporting order.
-var Analyzers = []*Analyzer{Simpurity, Probepurity, Maporder, Paramlit, Errdrop}
+var Analyzers = []*Analyzer{Simpurity, Probepurity, Maporder, Paramlit, Errdrop, Hotalloc}
 
 // Reportf reports a diagnostic unless an //evelint:allow comment on the
 // same line (or the line above, for a full-line comment) suppresses it.

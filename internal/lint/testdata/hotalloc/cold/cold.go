@@ -1,0 +1,16 @@
+// Package cold is the hotalloc true-negative fixture: the same allocation
+// shapes under an import path outside the per-cycle packages (linttest runs
+// it as repro/internal/report) must produce no diagnostics.
+package cold
+
+type dev struct{ buf []uint64 }
+
+func takesIface(v interface{}) { _ = v }
+
+func (d *dev) Access(n int) {
+	b := make([]uint64, n)
+	d.buf = append(d.buf, b...)
+	takesIface(n)
+	f := func() int { return n }
+	_ = f()
+}

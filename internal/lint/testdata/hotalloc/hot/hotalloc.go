@@ -1,0 +1,69 @@
+// Package hotalloc is the hotalloc fixture; linttest checks it under
+// repro/internal/mem, one of the per-cycle simulation packages. Access is a
+// hot root; step and fill are hot through the same-package call closure;
+// cold is never reached from a root and may allocate freely.
+package hotalloc
+
+import "fmt"
+
+type req struct {
+	addr uint64
+	size int
+}
+
+type boxer interface{ box() }
+
+func takesIface(v interface{}) { _ = v }
+func takesVariadic(vs ...any)  { _ = vs }
+func takesConcrete(r req)      { _ = r }
+func takesPointer(p *req)      { _ = p }
+
+type dev struct {
+	buf   []uint64
+	saved *req
+	seen  map[uint64]bool
+}
+
+func (d *dev) Access(r req) {
+	b := make([]uint64, r.size) // want `hot path \(\*dev\)\.Access: make allocates on every call`
+	_ = b
+	d.step(r)
+}
+
+// step is hot transitively: Access calls it.
+func (d *dev) step(r req) {
+	p := new(req) // want `hot path \(\*dev\)\.step: new allocates on every call`
+	_ = p
+	d.buf = append(d.buf, r.addr) // want `hot path \(\*dev\)\.step: append to d\.buf can grow the backing array`
+	//evelint:allow hotalloc -- ring compaction: grows to the high-water mark once, then reuses
+	d.buf = append(d.buf, r.addr)
+	d.saved = &req{addr: r.addr} // want `hot path \(\*dev\)\.step: &req\{\} escapes to the heap`
+	ids := []int{1, 2}           // want `hot path \(\*dev\)\.step: \[\]int literal allocates on every call`
+	_ = ids
+	d.seen = map[uint64]bool{} // want `hot path \(\*dev\)\.step: map\[uint64\]bool literal allocates on every call`
+	fill(d)
+}
+
+// fill is hot at depth two; closures and interface boxing are flagged.
+func fill(d *dev) {
+	f := func() int { return len(d.buf) } // want `hot path fill: func literal allocates a closure`
+	_ = f()
+	takesIface(req{})         // want `hot path fill: req\{\} boxes into interface interface\{\}`
+	takesVariadic(len(d.buf)) // want `hot path fill: len\(d\.buf\) boxes into interface any`
+	takesPointer(d.saved)     // pointer-shaped: stored directly, no box
+	takesConcrete(req{})      // value struct literal on the stack: no alloc
+	var b boxer
+	takesIface(b) // already an interface: no box
+	if d.saved == nil {
+		// The dying path allocates exactly once; its whole argument tree
+		// (including Sprintf's variadic boxing) is exempt.
+		panic(fmt.Sprintf("nil saved request for %d entries", len(d.buf)))
+	}
+}
+
+// cold is unreachable from any hot root: allocations here are fine.
+func cold() []uint64 {
+	tmp := make([]uint64, 64)
+	tmp = append(tmp, 1)
+	return tmp
+}

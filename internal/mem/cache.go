@@ -1,7 +1,6 @@
 package mem
 
 import (
-	"container/heap"
 	"fmt"
 	"strings"
 
@@ -58,19 +57,49 @@ type line struct {
 	lru   uint64
 }
 
-// releaseHeap is a min-heap of busy-resource release times.
+// releaseHeap is a min-heap of busy-resource release times. It implements
+// push/pop directly on int64 rather than through container/heap, whose
+// interface{}-typed Push would box every release time on the access path.
 type releaseHeap []int64
 
-func (h releaseHeap) Len() int            { return len(h) }
-func (h releaseHeap) Less(i, j int) bool  { return h[i] < h[j] }
-func (h releaseHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *releaseHeap) Push(x interface{}) { *h = append(*h, x.(int64)) }
-func (h *releaseHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+// push adds a release time, sifting it up to its heap position.
+func (h *releaseHeap) push(v int64) {
+	//evelint:allow hotalloc -- amortized: the backing array grows to the MSHR pool size once, then reuses
+	*h = append(*h, v)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if s[parent] <= s[i] {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest release time.
+func (h *releaseHeap) pop() int64 {
+	s := *h
+	earliest := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	for i := 0; ; {
+		small := i
+		if l := 2*i + 1; l < n && s[l] < s[small] {
+			small = l
+		}
+		if r := 2*i + 2; r < n && s[r] < s[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		s[i], s[small] = s[small], s[i]
+		i = small
+	}
+	return earliest
 }
 
 // Cache is one timed cache level: set-associative tags with LRU, per-bank
@@ -238,7 +267,7 @@ func (c *Cache) Access(addr uint64, write bool, t int64) Result {
 	// Acquire an MSHR, stalling until one frees if the pool is full.
 	issue := start
 	for len(c.mshrs) > 0 && c.mshrs[0] <= issue {
-		heap.Pop(&c.mshrs)
+		c.mshrs.pop()
 	}
 	if len(c.mshrs) >= c.cfg.MSHRs {
 		free := c.mshrs[0]
@@ -246,13 +275,13 @@ func (c *Cache) Access(addr uint64, write bool, t int64) Result {
 		c.tr.Span(probe.KStall, "mshr", issue, free)
 		issue = free
 		for len(c.mshrs) > 0 && c.mshrs[0] <= issue {
-			heap.Pop(&c.mshrs)
+			c.mshrs.pop()
 		}
 	}
 
 	lower := c.lower.Access(addr, false, issue+c.cfg.HitLatency)
 	done := lower.Done + c.cfg.HitLatency
-	heap.Push(&c.mshrs, done)
+	c.mshrs.push(done)
 	// The tag is installed now but marked outstanding until the fill
 	// completes, so accesses arriving before `done` wait for it. Entries are
 	// cleaned lazily on later hits, with a size-bounded sweep as backstop.

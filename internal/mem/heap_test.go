@@ -1,0 +1,65 @@
+package mem
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestReleaseHeapOrdering drives the hand-rolled int64 min-heap (which
+// replaced container/heap to keep MSHR accounting allocation-free) through
+// randomized push/pop sequences and checks it against a sorted reference.
+func TestReleaseHeapOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		var h releaseHeap
+		var ref []int64
+		for op := 0; op < 200; op++ {
+			if len(ref) == 0 || rng.Intn(3) != 0 {
+				v := int64(rng.Intn(1000))
+				h.push(v)
+				ref = append(ref, v)
+			} else {
+				sort.Slice(ref, func(i, j int) bool { return ref[i] < ref[j] })
+				want := ref[0]
+				ref = ref[1:]
+				if got := h.pop(); got != want {
+					t.Fatalf("trial %d op %d: pop = %d, want %d", trial, op, got, want)
+				}
+			}
+			if len(h) != len(ref) {
+				t.Fatalf("trial %d op %d: heap has %d entries, reference %d", trial, op, len(h), len(ref))
+			}
+			if len(h) > 0 {
+				sort.Slice(ref, func(i, j int) bool { return ref[i] < ref[j] })
+				if h[0] != ref[0] {
+					t.Fatalf("trial %d op %d: heap min %d, reference min %d", trial, op, h[0], ref[0])
+				}
+			}
+		}
+		// Drain: pops must come out sorted.
+		prev := int64(-1)
+		for len(h) > 0 {
+			v := h.pop()
+			if v < prev {
+				t.Fatalf("trial %d: drain out of order: %d after %d", trial, v, prev)
+			}
+			prev = v
+		}
+	}
+}
+
+// TestReleaseHeapDuplicates pins the duplicate-heavy pattern the MSHR pool
+// produces (many misses completing at the same cycle).
+func TestReleaseHeapDuplicates(t *testing.T) {
+	var h releaseHeap
+	for _, v := range []int64{5, 5, 3, 5, 3, 9} {
+		h.push(v)
+	}
+	want := []int64{3, 3, 5, 5, 5, 9}
+	for i, w := range want {
+		if got := h.pop(); got != w {
+			t.Fatalf("pop %d = %d, want %d", i, got, w)
+		}
+	}
+}

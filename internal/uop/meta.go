@@ -1,0 +1,262 @@
+package uop
+
+import "fmt"
+
+// Static μop metadata: enum validity, the latch name space of the circuit
+// stack, and a side-effect summary (EffectsOf) mirroring exactly what
+// circuits.Stack.Exec does with each arithmetic μop. The static verifier
+// (internal/uprog/check) is built on this file, so the summaries here and the
+// stack's execution paths must stay in lockstep.
+
+// Valid reports whether the counter id names one of the 12 shared counters.
+func (c Counter) Valid() bool { return c >= 0 && c < NumCounters }
+
+// Valid reports whether the source selector is one the bus logic implements.
+func (s Src) Valid() bool { return s >= SrcNone && s <= SrcExt }
+
+// Valid reports whether the destination selector is one the stack implements.
+func (d Dst) Valid() bool { return d >= DstRow && d <= DstDataOut }
+
+// Valid reports whether the spread policy is one the mask loader implements.
+func (s Spread) Valid() bool { return s >= SpreadNone && s <= SpreadMSB }
+
+// Valid reports whether the arithmetic μop kind is defined.
+func (k ArithKind) Valid() bool { return k >= ANone && k <= AMaskShift }
+
+// Valid reports whether the counter μop kind is defined.
+func (k CtrKind) Valid() bool { return k >= CNone && k <= CIncr }
+
+// Valid reports whether the control μop kind is defined.
+func (k CtlKind) Valid() bool { return k >= LNone && k <= LRet }
+
+var spreadNames = [...]string{"none", "lsb", "msb"}
+
+func (s Spread) String() string {
+	if s >= 0 && int(s) < len(spreadNames) {
+		return spreadNames[s]
+	}
+	return fmt.Sprintf("spread(%d)", int(s))
+}
+
+var ctrKindNames = [...]string{"none", "init", "decr", "incr"}
+
+func (k CtrKind) String() string {
+	if k >= 0 && int(k) < len(ctrKindNames) {
+		return ctrKindNames[k]
+	}
+	return fmt.Sprintf("ctr(%d)", int(k))
+}
+
+var ctlKindNames = [...]string{"none", "bnz", "bnd", "jmp", "ret"}
+
+func (k CtlKind) String() string {
+	if k >= 0 && int(k) < len(ctlKindNames) {
+		return ctlKindNames[k]
+	}
+	return fmt.Sprintf("ctl(%d)", int(k))
+}
+
+// Latch names one piece of circuit-stack state an arithmetic μop can consume
+// or update: the five architectural latches (§III) plus the sense amplifiers,
+// whose outputs are only valid while they hold a bit-line compute result.
+type Latch int
+
+// The circuit-stack latches.
+const (
+	LatchCarry Latch = iota
+	LatchMask
+	LatchXReg
+	LatchCShift
+	LatchSpare
+	LatchSense
+	NumLatches
+)
+
+var latchNames = [...]string{"carry", "mask", "xreg", "cshift", "spare", "sense"}
+
+func (l Latch) String() string {
+	if l >= 0 && int(l) < len(latchNames) {
+		return latchNames[l]
+	}
+	return fmt.Sprintf("latch(%d)", int(l))
+}
+
+// LatchSet is a set of latches, used by Effects to summarize which stack
+// state a μop reads and writes.
+type LatchSet uint8
+
+// Latches builds a set from its members.
+func Latches(ls ...Latch) LatchSet {
+	var s LatchSet
+	for _, l := range ls {
+		s = s.With(l)
+	}
+	return s
+}
+
+// With returns the set with l added.
+func (s LatchSet) With(l Latch) LatchSet { return s | 1<<uint(l) }
+
+// Has reports whether l is in the set.
+func (s LatchSet) Has(l Latch) bool { return s&(1<<uint(l)) != 0 }
+
+func (s LatchSet) String() string {
+	out := "{"
+	for l := Latch(0); l < NumLatches; l++ {
+		if s.Has(l) {
+			if len(out) > 1 {
+				out += ","
+			}
+			out += l.String()
+		}
+	}
+	return out + "}"
+}
+
+// Effects summarizes the architectural side effects of one arithmetic μop:
+// which wordlines it senses, which it writes, whether it touches the data_in
+// and data_out ports, and which latches it consults and updates. The summary
+// mirrors circuits.Stack.Exec exactly; EffectsOf returns an error for μops
+// the stack would reject (or that violate the documented field discipline),
+// with the same vocabulary as the stack's panics.
+type Effects struct {
+	// ReadRows lists the wordline references the μop senses (rd, or the two
+	// blc operands).
+	ReadRows []RowRef
+	// WriteRow is the wordline reference written when WritesRow is set (wr,
+	// or a writeback with Dst = row). A masked write still targets the row —
+	// predication gates which columns commit, not whether the row is driven.
+	WriteRow  RowRef
+	WritesRow bool
+	// ReadsExt is set when the μop consumes a data_in row (ExtR selects it).
+	ReadsExt bool
+	// WritesOut is set when the μop streams a row out through data_out.
+	WritesOut bool
+	// Reads and Writes are the latch sets the μop consults and updates.
+	// A writeback with Src = add reads LatchSense and LatchCarry: the sum is
+	// combinational from the sense outputs and the carry state captured at
+	// bit-line-compute time.
+	Reads  LatchSet
+	Writes LatchSet
+	// CommitsCarry marks the Src = add, Dst = row writeback that moves the
+	// staged group carry-out into the carry latch (also in Writes).
+	CommitsCarry bool
+	// InvalidatesSense is set for native reads and writes: they drive the
+	// bit lines, destroying any compute result the sense amplifiers held.
+	InvalidatesSense bool
+}
+
+// EffectsOf computes the Effects summary of one arithmetic μop.
+func EffectsOf(op Arith) (Effects, error) {
+	var e Effects
+	switch op.Kind {
+	case ANone:
+		return e, nil
+
+	case ARead:
+		e.ReadRows = []RowRef{op.A}
+		e.InvalidatesSense = true
+		switch op.Dst {
+		case DstCShift:
+			e.Writes = Latches(LatchCShift)
+		case DstXReg:
+			e.Writes = Latches(LatchXReg)
+		case DstMask:
+			if !op.Spread.Valid() {
+				return Effects{}, fmt.Errorf("invalid spread %v", op.Spread)
+			}
+			e.Writes = Latches(LatchMask)
+		case DstDataOut:
+			e.WritesOut = true
+		default:
+			return Effects{}, fmt.Errorf("rd cannot target %v", op.Dst)
+		}
+
+	case AWrite:
+		e.WriteRow, e.WritesRow = op.A, true
+		e.InvalidatesSense = true
+		switch op.Src {
+		case SrcZero, SrcOnes:
+		case SrcExt:
+			e.ReadsExt = true
+		default:
+			return Effects{}, fmt.Errorf("wr source must be zero, ones or data_in, not %v", op.Src)
+		}
+		if op.Masked {
+			e.Reads = e.Reads.With(LatchMask)
+		}
+
+	case ABLC:
+		e.ReadRows = []RowRef{op.A, op.B}
+		e.Writes = Latches(LatchSense)
+
+	case AWriteback:
+		switch op.Src {
+		case SrcAnd, SrcNand, SrcOr, SrcNor, SrcXor, SrcXnor:
+			e.Reads = e.Reads.With(LatchSense)
+		case SrcAdd:
+			e.Reads = e.Reads.With(LatchSense).With(LatchCarry)
+		case SrcCShift:
+			e.Reads = e.Reads.With(LatchCShift)
+		case SrcXReg:
+			e.Reads = e.Reads.With(LatchXReg)
+		case SrcMask:
+			e.Reads = e.Reads.With(LatchMask)
+		case SrcZero, SrcOnes:
+		case SrcExt:
+			e.ReadsExt = true
+		default:
+			return Effects{}, fmt.Errorf("invalid writeback source %v", op.Src)
+		}
+		switch op.Dst {
+		case DstRow:
+			e.WriteRow, e.WritesRow = op.DstR, true
+			if op.Masked {
+				e.Reads = e.Reads.With(LatchMask)
+			}
+			if op.Src == SrcAdd {
+				e.CommitsCarry = true
+				e.Writes = e.Writes.With(LatchCarry)
+			}
+		case DstXReg:
+			e.Writes = e.Writes.With(LatchXReg)
+		case DstMask:
+			if !op.Spread.Valid() {
+				return Effects{}, fmt.Errorf("invalid spread %v", op.Spread)
+			}
+			e.Writes = e.Writes.With(LatchMask)
+		case DstCShift:
+			e.Writes = e.Writes.With(LatchCShift)
+		case DstSpare:
+			e.Writes = e.Writes.With(LatchSpare)
+		case DstCarry:
+			e.Writes = e.Writes.With(LatchCarry)
+		case DstDataOut:
+			e.WritesOut = true
+		default:
+			return Effects{}, fmt.Errorf("invalid writeback destination %v", op.Dst)
+		}
+
+	case ALShift, ARShift:
+		e.Reads = Latches(LatchCShift, LatchSpare)
+		e.Writes = Latches(LatchCShift, LatchSpare)
+		if op.Masked {
+			e.Reads = e.Reads.With(LatchMask)
+		}
+
+	case ALRotate, ARRotate:
+		e.Reads = Latches(LatchCShift)
+		e.Writes = Latches(LatchCShift)
+		if op.Masked {
+			e.Reads = e.Reads.With(LatchMask)
+		}
+
+	case AMaskShift:
+		e.Reads = Latches(LatchXReg)
+		e.Writes = Latches(LatchXReg)
+
+	default:
+		return Effects{}, fmt.Errorf("unknown arith μop kind %v", op.Kind)
+	}
+	return e, nil
+}

@@ -1,0 +1,280 @@
+package uop
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestStringerTables pins every enum's printed names, including the
+// out-of-range fallbacks: the static verifier (internal/uprog/check) embeds
+// these strings in its diagnostics, so a rename here is a diagnostic change.
+func TestStringerTables(t *testing.T) {
+	cases := []struct{ got, want string }{
+		{Seg0.String(), "seg_cnt[0]"},
+		{Seg3.String(), "seg_cnt[3]"},
+		{Bit0.String(), "bit_cnt[0]"},
+		{Arr3.String(), "arr_cnt[3]"},
+		{Counter(99).String(), "cnt(99)"},
+		{Counter(-1).String(), "cnt(-1)"},
+
+		{SrcNone.String(), "none"},
+		{SrcAnd.String(), "and"},
+		{SrcNand.String(), "nand"},
+		{SrcOr.String(), "or"},
+		{SrcNor.String(), "nor"},
+		{SrcXor.String(), "xor"},
+		{SrcXnor.String(), "xnor"},
+		{SrcAdd.String(), "add"},
+		{SrcCShift.String(), "cshift"},
+		{SrcXReg.String(), "xreg"},
+		{SrcMask.String(), "mask"},
+		{SrcZero.String(), "zero"},
+		{SrcOnes.String(), "ones"},
+		{SrcExt.String(), "data_in"},
+		{Src(99).String(), "src(99)"},
+
+		{DstRow.String(), "row"},
+		{DstXReg.String(), "xreg"},
+		{DstMask.String(), "mask"},
+		{DstCShift.String(), "cshift"},
+		{DstSpare.String(), "spare"},
+		{DstCarry.String(), "carry"},
+		{DstDataOut.String(), "data_out"},
+		{Dst(9).String(), "dst(9)"},
+
+		{SpreadNone.String(), "none"},
+		{SpreadLSB.String(), "lsb"},
+		{SpreadMSB.String(), "msb"},
+		{Spread(7).String(), "spread(7)"},
+
+		{ANone.String(), "nop"},
+		{ARead.String(), "rd"},
+		{AWrite.String(), "wr"},
+		{ABLC.String(), "blc"},
+		{AWriteback.String(), "wb"},
+		{ALShift.String(), "lshft"},
+		{ARShift.String(), "rshft"},
+		{ALRotate.String(), "lrot"},
+		{ARRotate.String(), "rrot"},
+		{AMaskShift.String(), "m_shft"},
+		{ArithKind(42).String(), "arith(42)"},
+
+		{CNone.String(), "none"},
+		{CInit.String(), "init"},
+		{CDecr.String(), "decr"},
+		{CIncr.String(), "incr"},
+		{CtrKind(8).String(), "ctr(8)"},
+
+		{LNone.String(), "none"},
+		{LBnz.String(), "bnz"},
+		{LBnd.String(), "bnd"},
+		{LJmp.String(), "jmp"},
+		{LRet.String(), "ret"},
+		{CtlKind(8).String(), "ctl(8)"},
+
+		{LatchCarry.String(), "carry"},
+		{LatchMask.String(), "mask"},
+		{LatchXReg.String(), "xreg"},
+		{LatchCShift.String(), "cshift"},
+		{LatchSpare.String(), "spare"},
+		{LatchSense.String(), "sense"},
+		{Latch(17).String(), "latch(17)"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("stringer: got %q, want %q", c.got, c.want)
+		}
+	}
+}
+
+// TestValidRanges pins each enum's accepted range: every defined value is
+// valid, every neighbor outside the range is rejected.
+func TestValidRanges(t *testing.T) {
+	for c := Seg0; c < NumCounters; c++ {
+		if !c.Valid() {
+			t.Errorf("Counter %v should be valid", c)
+		}
+	}
+	if Counter(-1).Valid() || NumCounters.Valid() {
+		t.Error("out-of-range Counter accepted")
+	}
+	for s := SrcNone; s <= SrcExt; s++ {
+		if !s.Valid() {
+			t.Errorf("Src %v should be valid", s)
+		}
+	}
+	if Src(-1).Valid() || (SrcExt + 1).Valid() {
+		t.Error("out-of-range Src accepted")
+	}
+	for d := DstRow; d <= DstDataOut; d++ {
+		if !d.Valid() {
+			t.Errorf("Dst %v should be valid", d)
+		}
+	}
+	if Dst(-1).Valid() || (DstDataOut + 1).Valid() {
+		t.Error("out-of-range Dst accepted")
+	}
+	for s := SpreadNone; s <= SpreadMSB; s++ {
+		if !s.Valid() {
+			t.Errorf("Spread %v should be valid", s)
+		}
+	}
+	if Spread(-1).Valid() || (SpreadMSB + 1).Valid() {
+		t.Error("out-of-range Spread accepted")
+	}
+	for k := ANone; k <= AMaskShift; k++ {
+		if !k.Valid() {
+			t.Errorf("ArithKind %v should be valid", k)
+		}
+	}
+	if ArithKind(-1).Valid() || (AMaskShift + 1).Valid() {
+		t.Error("out-of-range ArithKind accepted")
+	}
+	for k := CNone; k <= CIncr; k++ {
+		if !k.Valid() {
+			t.Errorf("CtrKind %v should be valid", k)
+		}
+	}
+	if CtrKind(-1).Valid() || (CIncr + 1).Valid() {
+		t.Error("out-of-range CtrKind accepted")
+	}
+	for k := LNone; k <= LRet; k++ {
+		if !k.Valid() {
+			t.Errorf("CtlKind %v should be valid", k)
+		}
+	}
+	if CtlKind(-1).Valid() || (LRet + 1).Valid() {
+		t.Error("out-of-range CtlKind accepted")
+	}
+}
+
+func TestLatchSet(t *testing.T) {
+	s := Latches(LatchCarry, LatchSense)
+	if !s.Has(LatchCarry) || !s.Has(LatchSense) || s.Has(LatchMask) {
+		t.Fatalf("set membership wrong: %v", s)
+	}
+	if got := s.String(); got != "{carry,sense}" {
+		t.Errorf("LatchSet string = %q", got)
+	}
+	if got := LatchSet(0).String(); got != "{}" {
+		t.Errorf("empty LatchSet string = %q", got)
+	}
+}
+
+// TestEffectsOf pins the side-effect summaries the static verifier depends
+// on, one per μop shape, plus every error path's exact message.
+func TestEffectsOf(t *testing.T) {
+	tests := []struct {
+		name string
+		op   Arith
+		want Effects
+	}{
+		{
+			"nop", Arith{Kind: ANone}, Effects{},
+		},
+		{
+			"rd-to-cshift", Arith{Kind: ARead, A: Row(4), Dst: DstCShift},
+			Effects{ReadRows: []RowRef{Row(4)}, Writes: Latches(LatchCShift), InvalidatesSense: true},
+		},
+		{
+			"rd-to-dataout", Arith{Kind: ARead, A: Row(4), Dst: DstDataOut},
+			Effects{ReadRows: []RowRef{Row(4)}, WritesOut: true, InvalidatesSense: true},
+		},
+		{
+			"wr-zero-masked", Arith{Kind: AWrite, A: Row(9), Src: SrcZero, Masked: true},
+			Effects{WriteRow: Row(9), WritesRow: true, Reads: Latches(LatchMask), InvalidatesSense: true},
+		},
+		{
+			"wr-ext", Arith{Kind: AWrite, A: Row(9), Src: SrcExt, ExtR: Ext(1)},
+			Effects{WriteRow: Row(9), WritesRow: true, ReadsExt: true, InvalidatesSense: true},
+		},
+		{
+			"blc", Arith{Kind: ABLC, A: Row(1), B: Row(2)},
+			Effects{ReadRows: []RowRef{Row(1), Row(2)}, Writes: Latches(LatchSense)},
+		},
+		{
+			"wb-add-to-row", Arith{Kind: AWriteback, Dst: DstRow, DstR: Row(7), Src: SrcAdd},
+			Effects{WriteRow: Row(7), WritesRow: true,
+				Reads:  Latches(LatchSense, LatchCarry),
+				Writes: Latches(LatchCarry), CommitsCarry: true},
+		},
+		{
+			"wb-add-to-mask", Arith{Kind: AWriteback, Dst: DstMask, Src: SrcAdd, Spread: SpreadLSB},
+			Effects{Reads: Latches(LatchSense, LatchCarry), Writes: Latches(LatchMask)},
+		},
+		{
+			"wb-and-masked-row", Arith{Kind: AWriteback, Dst: DstRow, DstR: Row(7), Src: SrcAnd, Masked: true},
+			Effects{WriteRow: Row(7), WritesRow: true, Reads: Latches(LatchSense, LatchMask)},
+		},
+		{
+			"wb-zero-to-carry", Arith{Kind: AWriteback, Dst: DstCarry, Src: SrcZero},
+			Effects{Writes: Latches(LatchCarry)},
+		},
+		{
+			"wb-cshift-out", Arith{Kind: AWriteback, Dst: DstDataOut, Src: SrcCShift},
+			Effects{Reads: Latches(LatchCShift), WritesOut: true},
+		},
+		{
+			"lshft-masked", Arith{Kind: ALShift, Masked: true},
+			Effects{Reads: Latches(LatchCShift, LatchSpare, LatchMask),
+				Writes: Latches(LatchCShift, LatchSpare)},
+		},
+		{
+			"rrot", Arith{Kind: ARRotate},
+			Effects{Reads: Latches(LatchCShift), Writes: Latches(LatchCShift)},
+		},
+		{
+			"m_shft", Arith{Kind: AMaskShift},
+			Effects{Reads: Latches(LatchXReg), Writes: Latches(LatchXReg)},
+		},
+	}
+	for _, tc := range tests {
+		got, err := EffectsOf(tc.op)
+		if err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+			continue
+		}
+		if len(got.ReadRows) != len(tc.want.ReadRows) {
+			t.Errorf("%s: ReadRows = %v, want %v", tc.name, got.ReadRows, tc.want.ReadRows)
+		} else {
+			for i := range got.ReadRows {
+				if got.ReadRows[i] != tc.want.ReadRows[i] {
+					t.Errorf("%s: ReadRows[%d] = %v, want %v", tc.name, i, got.ReadRows[i], tc.want.ReadRows[i])
+				}
+			}
+		}
+		got.ReadRows, tc.want.ReadRows = nil, nil
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%s: effects = %+v, want %+v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestEffectsOfErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		op   Arith
+		want string
+	}{
+		{"rd-to-row", Arith{Kind: ARead, Dst: DstRow}, "rd cannot target row"},
+		{"rd-to-carry", Arith{Kind: ARead, Dst: DstCarry}, "rd cannot target carry"},
+		{"rd-bad-spread", Arith{Kind: ARead, Dst: DstMask, Spread: Spread(7)}, "invalid spread spread(7)"},
+		{"wr-from-add", Arith{Kind: AWrite, Src: SrcAdd}, "wr source must be zero, ones or data_in, not add"},
+		{"wr-from-none", Arith{Kind: AWrite, Src: SrcNone}, "wr source must be zero, ones or data_in, not none"},
+		{"wb-no-source", Arith{Kind: AWriteback, Dst: DstRow, Src: SrcNone}, "invalid writeback source none"},
+		{"wb-bad-source", Arith{Kind: AWriteback, Dst: DstRow, Src: Src(99)}, "invalid writeback source src(99)"},
+		{"wb-bad-dest", Arith{Kind: AWriteback, Src: SrcAnd, Dst: Dst(9)}, "invalid writeback destination dst(9)"},
+		{"wb-bad-spread", Arith{Kind: AWriteback, Src: SrcAnd, Dst: DstMask, Spread: Spread(-2)}, "invalid spread spread(-2)"},
+		{"bad-kind", Arith{Kind: ArithKind(42)}, "unknown arith μop kind arith(42)"},
+	}
+	for _, tc := range tests {
+		_, err := EffectsOf(tc.op)
+		if err == nil {
+			t.Errorf("%s: no error", tc.name)
+			continue
+		}
+		if err.Error() != tc.want {
+			t.Errorf("%s: error %q, want %q", tc.name, err.Error(), tc.want)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/uop"
+	"repro/internal/uprog"
+)
+
+// The ROM sweep: every generator × operand shape × masked/unmasked, with the
+// Spec each generator's contract implies. cmd/uprogcheck and the sweep test
+// both run AllCases; adding a generator to the ROM means adding it here.
+
+// Factors lists every parallelization factor NewLayout accepts (n must
+// divide 32). The sweep covers all of them — a superset of the paper's
+// EVE-4..EVE-32 design points.
+var Factors = []int{1, 2, 4, 8, 16, 32}
+
+// Case pairs one generated micro-program with its verification spec.
+type Case struct {
+	// Name is unique across the whole sweep: "<program>/n=<factor>[/m]".
+	Name string
+	Prog *uop.Program
+	Spec Spec
+}
+
+// Cases enumerates the ROM for one layout. The register convention matches
+// the EVE cost model: d, a, b = 3, 1, 2, with v0 the mask register.
+func Cases(l uprog.Layout) []Case {
+	const d, a, b = 3, 1, 2
+	const maskReg = 0 // RVV v0
+
+	var cs []Case
+	add := func(p *uop.Program, masked bool, reads, writes []int, extRows int) {
+		name := fmt.Sprintf("%s/n=%d", p.Name, l.N)
+		if masked {
+			name += "/m"
+			reads = append(append([]int{}, reads...), maskReg)
+		}
+		cs = append(cs, Case{
+			Name: name,
+			Prog: p,
+			Spec: Spec{Layout: l, Reads: reads, Writes: writes, ExtRows: extRows},
+		})
+	}
+	// both adds the unmasked and masked variant of one generator.
+	both := func(gen func(masked bool) *uop.Program, reads, writes []int, extRows int) {
+		add(gen(false), false, reads, writes, extRows)
+		add(gen(true), true, reads, writes, extRows)
+	}
+
+	logicSrcs := []uop.Src{uop.SrcAnd, uop.SrcNand, uop.SrcOr, uop.SrcNor, uop.SrcXor, uop.SrcXnor}
+
+	both(func(m bool) *uop.Program { return uprog.Copy(l, d, a, m) }, []int{a}, []int{d}, 0)
+	both(func(m bool) *uop.Program { return uprog.Not(l, d, a, m) }, []int{a}, []int{d}, 0)
+	for _, src := range logicSrcs {
+		src := src
+		both(func(m bool) *uop.Program { return uprog.Logic(l, src, d, a, b, m) },
+			[]int{a, b}, []int{d}, 0)
+	}
+	both(func(m bool) *uop.Program { return uprog.Add(l, d, a, b, m) }, []int{a, b}, []int{d}, 0)
+	both(func(m bool) *uop.Program { return uprog.Sub(l, d, a, b, m) }, []int{a, b}, []int{d}, 0)
+	both(func(m bool) *uop.Program { return uprog.RSub(l, d, a, b, m) }, []int{a, b}, []int{d}, 0)
+
+	both(func(m bool) *uop.Program { return uprog.SatAddU(l, d, a, b, m) }, []int{a, b}, []int{d}, 0)
+	both(func(m bool) *uop.Program { return uprog.SatSubU(l, d, a, b, m) }, []int{a, b}, []int{d}, 0)
+	// The signed saturating forms stage clamp constants through data_in
+	// (SatConstRows: Segs INT32_MAX rows then Segs INT32_MIN rows).
+	both(func(m bool) *uop.Program { return uprog.SatAdd(l, d, a, b, m) }, []int{a, b}, []int{d}, 2*l.Segs)
+	both(func(m bool) *uop.Program { return uprog.SatSub(l, d, a, b, m) }, []int{a, b}, []int{d}, 2*l.Segs)
+
+	for _, max := range []bool{false, true} {
+		for _, signed := range []bool{false, true} {
+			max, signed := max, signed
+			both(func(m bool) *uop.Program { return uprog.MinMax(l, max, signed, d, a, b, m) },
+				[]int{a, b}, []int{d}, 0)
+		}
+	}
+
+	// Immediate shifts: boundary amounts (0, 1, 31), a mid-segment amount
+	// (7), and the segment size itself (whole-segment moves), deduplicated.
+	ks := []int{0, 1, 7, 31}
+	if l.N < 32 {
+		dup := false
+		for _, k := range ks {
+			if k == l.N {
+				dup = true
+			}
+		}
+		if !dup {
+			ks = append(ks, l.N)
+		}
+	}
+	for _, kind := range []uprog.ShiftKind{uprog.ShSLL, uprog.ShSRL, uprog.ShSRA} {
+		for _, k := range ks {
+			kind, k := kind, k
+			ext := 0
+			if kind == uprog.ShSRA && k%l.N != 0 {
+				ext = 1 // TopBitsRow for the partial segment's sign fill
+			}
+			both(func(m bool) *uop.Program { return uprog.ShiftImm(l, kind, d, a, k, m) },
+				[]int{a}, []int{d}, ext)
+		}
+		kind := kind
+		both(func(m bool) *uop.Program { return uprog.ShiftVV(l, kind, d, a, b, m) },
+			[]int{a, b}, []int{d}, 0)
+	}
+
+	both(func(m bool) *uop.Program { return uprog.WriteExt(l, d, m) }, nil, []int{d}, l.Segs)
+	add(uprog.StreamOut(l, a), false, []int{a}, nil, 0)
+	add(uprog.Merge(l, d, a, b), false, []int{maskReg, a, b}, []int{d}, 0)
+
+	both(func(m bool) *uop.Program { return uprog.Mul(l, d, a, b, m, false) }, []int{a, b}, []int{d}, 0)
+	// vmacc reads its destination as the accumulator seed.
+	both(func(m bool) *uop.Program { return uprog.Mul(l, d, a, b, m, true) }, []int{a, b, d}, []int{d}, 0)
+	both(func(m bool) *uop.Program { return uprog.MulH(l, d, a, b, m) }, []int{a, b}, []int{d}, 0)
+
+	for _, kind := range []uprog.DivKind{uprog.DivU, uprog.DivS, uprog.RemU, uprog.RemS} {
+		kind := kind
+		both(func(m bool) *uop.Program { return uprog.DivRem(l, kind, d, a, b, m) },
+			[]int{a, b}, []int{d}, uprog.BitConstRowCount(l))
+	}
+
+	for _, kind := range []uprog.CmpKind{
+		uprog.CmpEq, uprog.CmpNe, uprog.CmpLtu, uprog.CmpLt, uprog.CmpGeu,
+		uprog.CmpGe, uprog.CmpGtu, uprog.CmpGt, uprog.CmpLeu, uprog.CmpLe,
+	} {
+		kind := kind
+		both(func(m bool) *uop.Program { return uprog.Compare(l, kind, d, a, b, m) },
+			[]int{a, b}, []int{d}, 0)
+	}
+
+	for _, src := range logicSrcs {
+		add(uprog.MaskLogic(l, src, d, a, b), false, []int{a, b}, []int{d}, 0)
+	}
+	both(func(m bool) *uop.Program { return uprog.Zero(l, d, m) }, nil, []int{d}, 0)
+
+	return cs
+}
+
+// AllCases enumerates the ROM across every valid parallelization factor.
+func AllCases() []Case {
+	var cs []Case
+	for _, n := range Factors {
+		cs = append(cs, Cases(uprog.NewLayout(n))...)
+	}
+	return cs
+}

@@ -146,6 +146,11 @@ type DV struct {
 	queue []int64
 	qHead int
 
+	// lineBuf is the reusable scratch for lines(): each expansion overwrites
+	// the previous one, so the backing array grows to the longest request
+	// stream once and is then allocation-free.
+	lineBuf []uint64
+
 	Instrs uint64
 
 	tr  probe.Emitter // "dv": per-instruction commit events
@@ -174,11 +179,13 @@ func (d *DV) ProbeStats(s *probe.Scope) {
 func (d *DV) HWVL() int { return d.cfg.HWVL }
 
 func (d *DV) enqueue(dispatched int64) int64 {
+	//evelint:allow hotalloc -- amortized: the compaction below bounds the queue, so growth converges
 	d.queue = append(d.queue, dispatched)
 	if len(d.queue)-d.qHead > d.cfg.QueueDepth {
 		block := d.queue[d.qHead]
 		d.qHead++
 		if d.qHead > 4096 && d.qHead*2 > len(d.queue) {
+			//evelint:allow hotalloc -- copies into the existing backing array; never grows
 			d.queue = append(d.queue[:0], d.queue[d.qHead:]...)
 			d.qHead = 0
 		}
@@ -291,34 +298,35 @@ func (d *DV) commit(in *isa.Instr, arrival, block int64) int64 {
 }
 
 // lines expands a DV memory instruction; same coalescing rules as EVE's VMU.
+// The returned slice aliases d.lineBuf and is only valid until the next call.
 func (d *DV) lines(in *isa.Instr) []uint64 {
+	out := d.lineBuf[:0]
 	switch in.Op {
 	case isa.OpLoad, isa.OpStore:
 		first := in.Addr / mem.LineBytes
 		last := (in.Addr + uint64(4*in.VL) - 1) / mem.LineBytes
-		out := make([]uint64, 0, last-first+1)
 		for l := first; l <= last; l++ {
+			//evelint:allow hotalloc -- amortized: lineBuf grows to the longest expansion once, then reuses
 			out = append(out, l*mem.LineBytes)
 		}
-		return out
 	case isa.OpLoadStride, isa.OpStoreStride:
-		out := make([]uint64, 0, in.VL)
 		prev := uint64(1) << 63
 		for i := 0; i < in.VL; i++ {
 			a := uint64(int64(in.Addr)+int64(i)*in.Stride) / mem.LineBytes
 			if a != prev {
+				//evelint:allow hotalloc -- amortized: lineBuf grows to the longest expansion once, then reuses
 				out = append(out, a*mem.LineBytes)
 				prev = a
 			}
 		}
-		return out
 	default:
-		out := make([]uint64, len(in.Addrs))
-		for i, a := range in.Addrs {
-			out[i] = a / mem.LineBytes * mem.LineBytes
+		for _, a := range in.Addrs {
+			//evelint:allow hotalloc -- amortized: lineBuf grows to the longest expansion once, then reuses
+			out = append(out, a/mem.LineBytes*mem.LineBytes)
 		}
-		return out
 	}
+	d.lineBuf = out
+	return out
 }
 
 // memory returns the time the VMU finished issuing the requests, which is
