@@ -15,13 +15,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 
 	"repro/internal/faults"
 	"repro/internal/sim"
@@ -90,6 +93,11 @@ func main() {
 		os.Exit(2)
 	}
 
+	// ^C / SIGTERM cancels the campaign through the sweep context: finished
+	// cells are kept and the partial report is still flushed as valid JSON.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	cfg := faults.Config{
 		System:         sim.Config{Kind: sim.SysO3EVE, N: *n, MaxUProgCycles: *maxCycles},
 		Kernels:        ks,
@@ -99,6 +107,7 @@ func main() {
 		Workers:        *parallel,
 		RetryOnce:      *retry,
 		VerifyBaseline: *verify,
+		Context:        ctx,
 	}
 	if *progress {
 		cfg.Observer = sweep.NewProgress(os.Stderr)
@@ -133,4 +142,8 @@ func main() {
 		}
 	}
 	fmt.Fprintln(os.Stderr, summarize(rep))
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "eve-faults: interrupted; the report above covers only the cells that finished")
+		os.Exit(130)
+	}
 }

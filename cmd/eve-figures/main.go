@@ -13,13 +13,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 
 	ieve "repro/internal/eve"
 	"repro/internal/metrics"
@@ -224,18 +227,30 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "simulating %d kernels x %d systems on %d workers...\n",
 		len(kernels), len(systems), *parallel)
+	// ^C / SIGTERM cancels the sweep through the pool's context: in-flight
+	// cells finish, the rest are skipped, and JSON mode still flushes the
+	// partial matrix instead of dying mid-write.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	// JSON mode completes the whole matrix and surfaces per-cell errors in
 	// the output; rendered-table mode aborts on the first failure, since a
 	// table over invalid results is worthless.
-	opts := sweep.Options{Workers: *parallel, AbortOnError: !*asJSON}
+	opts := sweep.Options{Workers: *parallel, AbortOnError: !*asJSON, Context: ctx}
 	if *progress {
 		opts.Observer = sweep.NewProgress(os.Stderr)
 	}
 	results, err := sweep.Matrix(systems, kernels, opts)
+	interrupted := ctx.Err() != nil
+	if interrupted {
+		fmt.Fprintln(os.Stderr, "eve-figures: interrupted; flushing partial results")
+	}
 	if *asJSON {
 		if err := emitJSON(os.Stdout, results); err != nil {
 			fmt.Fprintln(os.Stderr, "eve-figures:", err)
 			os.Exit(1)
+		}
+		if interrupted {
+			os.Exit(130)
 		}
 		if n, msgs := countFailures(results); n > 0 {
 			fmt.Fprintf(os.Stderr, "eve-figures: %d cells failed validation:\n", n)
@@ -245,6 +260,10 @@ func main() {
 			os.Exit(1)
 		}
 		return
+	}
+	if interrupted {
+		// Tables over a partial matrix would render misleading numbers.
+		os.Exit(130)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "VALIDATION FAILURE: %v\n", err)

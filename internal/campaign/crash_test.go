@@ -1,0 +1,137 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// crashSpace is the 48-cell space the crash-injection harness walks: big
+// enough that seeded kill points land mid-run, small enough for CI.
+func crashSpace() Space {
+	return Space{
+		Kernels:     []string{"vvadd", "redux"},
+		Scales:      []int{512, 2048},
+		N:           []int{1, 4, 32},
+		L2Ways:      []int{4, 8},
+		DRAMLatency: []int64{50, 120},
+	}
+}
+
+// TestHelperCampaign is not a test: it is the subprocess body the
+// crash-injection harness SIGKILLs. It runs the crash space against the
+// journal named in the environment, always in resume mode (the first
+// launch finds no journal and starts fresh), exactly as a user rerunning
+// eve-explore would.
+func TestHelperCampaign(t *testing.T) {
+	if os.Getenv("EVE_CAMPAIGN_HELPER") != "1" {
+		t.Skip("crash-injection helper body; only runs as a subprocess")
+	}
+	workers, err := strconv.Atoi(os.Getenv("EVE_CAMPAIGN_WORKERS"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(RunConfig{
+		Space:   crashSpace(),
+		Journal: os.Getenv("EVE_CAMPAIGN_JOURNAL"),
+		Resume:  true,
+		Workers: workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// waitForJournalLines polls until the journal holds at least n newline-
+// terminated records (or the deadline passes). The poll is host-side
+// orchestration of the victim process and never touches simulated state.
+func waitForJournalLines(t *testing.T, path string, n int) bool {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		data, err := os.ReadFile(path)
+		if err == nil && bytes.Count(data, []byte{'\n'}) >= n {
+			return true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return false
+}
+
+// TestCrashInjectionResumeByteIdentical is the headline robustness proof:
+// a campaign subprocess is SIGKILLed at three seeded points (after ~5, ~15
+// and ~30 journaled cells), resumed after each kill, and the final report
+// must byte-match the same campaign run uninterrupted in-process — at
+// worker counts 1 and 4. SIGKILL gives no chance to clean up, so every
+// kill may leave a torn journal tail; resume must absorb that too.
+func TestCrashInjectionResumeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess crash matrix in -short mode")
+	}
+	golden, err := Run(RunConfig{Space: crashSpace(), Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenJSON, err := json.MarshalIndent(golden, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := crashSpace().Size()
+
+	for _, workers := range []int{1, 4} {
+		t.Run("workers="+strconv.Itoa(workers), func(t *testing.T) {
+			jpath := filepath.Join(t.TempDir(), "journal.log")
+			killPoints := []int{5, 15, 30} // seeded: fixed journal depths
+			for _, at := range killPoints {
+				cmd := exec.Command(os.Args[0], "-test.run", "^TestHelperCampaign$")
+				cmd.Env = append(os.Environ(),
+					"EVE_CAMPAIGN_HELPER=1",
+					"EVE_CAMPAIGN_JOURNAL="+jpath,
+					"EVE_CAMPAIGN_WORKERS="+strconv.Itoa(workers),
+				)
+				if err := cmd.Start(); err != nil {
+					t.Fatal(err)
+				}
+				if !waitForJournalLines(t, jpath, at) {
+					_ = cmd.Process.Kill()
+					t.Fatalf("kill point %d: journal never reached depth", at)
+				}
+				if err := cmd.Process.Kill(); err != nil { // SIGKILL: no cleanup
+					t.Fatal(err)
+				}
+				_ = cmd.Wait() // reap; a killed process reports an error by design
+			}
+
+			// After three kills the journal must hold real progress but not
+			// the whole campaign — otherwise the resume below proves nothing.
+			jchk, recs, err := Open(jpath, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := jchk.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if len(recs) < killPoints[len(killPoints)-1] || len(recs) >= total {
+				t.Fatalf("after kills the journal holds %d/%d cells; kill points missed their window", len(recs), total)
+			}
+
+			rep, err := Run(RunConfig{Space: crashSpace(), Journal: jpath, Resume: true, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, goldenJSON) {
+				t.Errorf("killed-thrice-and-resumed report differs from the uninterrupted run\n got:  %.400s\n want: %.400s", got, goldenJSON)
+			}
+		})
+	}
+}

@@ -1,0 +1,197 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+)
+
+// Status is a cell's terminal disposition in the journal.
+type Status string
+
+const (
+	// StatusOK: the cell simulated and its checker validated. Final.
+	StatusOK Status = "ok"
+	// StatusFailed: the cell exhausted its retry budget or failed
+	// deterministically (checker mismatch, SimError). Final: resume does
+	// not re-run it — deterministic failures fail identically.
+	StatusFailed Status = "failed"
+	// StatusTimeout: the cell blew its wall-clock budget. Wall time is a
+	// host property, not a simulated one, so resume re-runs these cells.
+	StatusTimeout Status = "timeout"
+)
+
+// Record is one journal line: a cell's identity, full parameters (so a
+// journal is self-describing without its space file), disposition, and the
+// simulated quantities a report needs. Every field is deterministic in the
+// cell parameters — no timestamps, wall times or attempt counts — which is
+// what makes resumed reports byte-identical to uninterrupted ones.
+type Record struct {
+	Cell   string `json:"cell"`
+	Params Params `json:"params"`
+	Status Status `json:"status"`
+	Reason string `json:"reason,omitempty"`
+
+	Cycles       int64   `json:"cycles,omitempty"`
+	EnergyReadEq float64 `json:"energy_read_eq,omitempty"`
+	SpawnCost    int64   `json:"spawn_cost,omitempty"`
+	AreaFactor   float64 `json:"area_factor,omitempty"`
+	L2MissRate   float64 `json:"l2_miss_rate,omitempty"`
+	LLCMissRate  float64 `json:"llc_miss_rate,omitempty"`
+	DRAMBusUtil  float64 `json:"dram_bus_util,omitempty"`
+}
+
+// Journal is the campaign's append-only checkpoint log. Each line is
+//
+//	%08x SP json \n
+//
+// — the CRC32 (IEEE) of the JSON body, a space, the body. A line is valid
+// only if it is newline-terminated, its checksum matches, and the body
+// decodes to a Record with a cell ID; anything after the first invalid
+// line is a torn tail from a crash mid-write and is truncated away on
+// open. Appends fsync every fsyncEvery records (and on Close), bounding
+// loss to the cells completed since the last sync — which resume simply
+// re-runs.
+type Journal struct {
+	mu         sync.Mutex
+	f          *os.File
+	fsyncEvery int
+	sinceSync  int
+}
+
+// Create starts a fresh journal at path, truncating any existing file.
+// fsyncEvery ≤ 1 syncs every append.
+func Create(path string, fsyncEvery int) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: create journal: %w", err)
+	}
+	return &Journal{f: f, fsyncEvery: fsyncEvery}, nil
+}
+
+// Open reopens an existing journal for resumption: it reads the prior
+// records in file order, truncates any torn tail left by a crash, and
+// positions the journal for appending. A missing file is not an error —
+// it opens empty, so -resume works on the very first run too.
+func Open(path string, fsyncEvery int) (*Journal, []Record, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		j, cerr := Create(path, fsyncEvery)
+		return j, nil, cerr
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("campaign: read journal: %w", err)
+	}
+	recs, valid := parseRecords(data)
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("campaign: reopen journal: %w", err)
+	}
+	if valid < len(data) {
+		// Torn tail: a crash interrupted the last write. Cut the file back
+		// to its last valid record; the cells the tail covered re-run.
+		if err := f.Truncate(int64(valid)); err != nil {
+			_ = f.Close()
+			return nil, nil, fmt.Errorf("campaign: truncate torn journal tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(int64(valid), 0); err != nil {
+		_ = f.Close()
+		return nil, nil, fmt.Errorf("campaign: seek journal: %w", err)
+	}
+	return &Journal{f: f, fsyncEvery: fsyncEvery}, recs, nil
+}
+
+// parseRecords decodes lines until the first invalid one, returning the
+// valid records and the byte offset where validity ends.
+func parseRecords(data []byte) ([]Record, int) {
+	var recs []Record
+	off := 0
+	for off < len(data) {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			break // unterminated: torn mid-line
+		}
+		line := data[off : off+nl]
+		rec, ok := parseLine(line)
+		if !ok {
+			break
+		}
+		recs = append(recs, rec)
+		off += nl + 1
+	}
+	return recs, off
+}
+
+// parseLine validates one journal line: checksum, then JSON, then shape.
+func parseLine(line []byte) (Record, bool) {
+	var rec Record
+	// "%08x body": 8 hex digits, one space, at least "{}".
+	if len(line) < 11 || line[8] != ' ' {
+		return rec, false
+	}
+	var want uint32
+	if _, err := fmt.Sscanf(string(line[:8]), "%08x", &want); err != nil {
+		return rec, false
+	}
+	body := line[9:]
+	if crc32.ChecksumIEEE(body) != want {
+		return rec, false
+	}
+	if err := json.Unmarshal(body, &rec); err != nil || rec.Cell == "" {
+		return Record{}, false
+	}
+	return rec, true
+}
+
+// Append writes one record, checksummed, and syncs per the fsync policy.
+// Safe for concurrent use by sweep workers.
+func (j *Journal) Append(rec Record) error {
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("campaign: encode journal record: %w", err)
+	}
+	line := fmt.Sprintf("%08x %s\n", crc32.ChecksumIEEE(body), body)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.WriteString(line); err != nil {
+		return fmt.Errorf("campaign: append journal record: %w", err)
+	}
+	j.sinceSync++
+	if j.fsyncEvery <= 1 || j.sinceSync >= j.fsyncEvery {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("campaign: fsync journal: %w", err)
+		}
+		j.sinceSync = 0
+	}
+	return nil
+}
+
+// Sync forces any buffered appends to stable storage.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.sinceSync == 0 {
+		return nil
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("campaign: fsync journal: %w", err)
+	}
+	j.sinceSync = 0
+	return nil
+}
+
+// Close syncs and closes the journal file.
+func (j *Journal) Close() error {
+	if err := j.Sync(); err != nil {
+		_ = j.f.Close()
+		return err
+	}
+	if err := j.f.Close(); err != nil {
+		return fmt.Errorf("campaign: close journal: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+package campaign
+
+import "testing"
+
+func pt(kernel string, cycles int64, area, energy float64) Record {
+	return Record{
+		Cell:   kernel + "x",
+		Params: Params{Kernel: kernel, Scale: 64},
+		Status: StatusOK,
+		Cycles: cycles, AreaFactor: area, EnergyReadEq: energy,
+	}
+}
+
+// TestFrontierDominance: dominated points drop, incomparable points stay,
+// and failed cells never enter the frontier.
+func TestFrontierDominance(t *testing.T) {
+	a := pt("vvadd", 100, 2.0, 10) // fast, big
+	b := pt("vvadd", 300, 1.0, 5)  // slow, small — incomparable with a
+	c := pt("vvadd", 320, 1.5, 6)  // dominated by nothing? slower and bigger than b, more energy: dominated by b
+	d := pt("vvadd", 100, 2.0, 10) // duplicate of a: neither strictly dominates
+	bad := pt("vvadd", 1, 0.1, 0.1)
+	bad.Status = StatusFailed
+
+	fr := Frontiers([]Record{a, b, c, d, bad})
+	if len(fr) != 1 {
+		t.Fatalf("got %d frontiers, want 1", len(fr))
+	}
+	pts := fr[0].Points
+	if len(pts) != 3 {
+		t.Fatalf("frontier holds %d points, want 3 (a, its duplicate, b): %+v", len(pts), pts)
+	}
+	// Sorted by area: b (1.0) first, then the two 2.0 points.
+	if pts[0].AreaFactor != 1.0 || pts[1].Cycles != 100 {
+		t.Errorf("frontier order wrong: %+v", pts)
+	}
+	for _, p := range pts {
+		if p.Cycles == 320 {
+			t.Error("dominated point survived")
+		}
+		if p.Status != StatusOK {
+			t.Error("non-ok point entered the frontier")
+		}
+	}
+}
+
+// TestFrontierGroupsByWorkload: distinct (kernel, scale, seed) triples get
+// their own frontiers, in first-appearance order.
+func TestFrontierGroupsByWorkload(t *testing.T) {
+	r1 := pt("vvadd", 100, 1, 1)
+	r2 := pt("redux", 200, 1, 1)
+	r3 := pt("vvadd", 90, 2, 1)
+	r3.Params.Seed = 7 // different workload instance
+	fr := Frontiers([]Record{r1, r2, r3})
+	if len(fr) != 3 {
+		t.Fatalf("got %d frontiers, want 3", len(fr))
+	}
+	if fr[0].Kernel != "vvadd" || fr[1].Kernel != "redux" || fr[2].Seed != 7 {
+		t.Errorf("frontier grouping/order wrong: %+v", fr)
+	}
+}

@@ -1,0 +1,344 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/analytic"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+)
+
+// RunConfig drives one campaign execution.
+type RunConfig struct {
+	// Space is the parameter space to explore.
+	Space Space
+	// Journal is the checkpoint log path. Empty disables journaling (the
+	// campaign still runs; it just cannot resume).
+	Journal string
+	// Resume reopens an existing journal and skips its finished cells
+	// instead of truncating it. Timed-out cells re-run (wall time is host
+	// trouble, not a simulated property); ok and failed cells are final.
+	Resume bool
+	// Workers bounds sweep concurrency; ≤ 0 uses the sweep default.
+	Workers int
+	// CellTimeout is the per-cell wall-clock budget; 0 disables the
+	// watchdog.
+	CellTimeout time.Duration
+	// Retries bounds re-runs of a cell after a recoverable failure
+	// (SimError, timeout, worker panic); 0 disables retries.
+	Retries int
+	// Backoff is the base retry delay, doubled per attempt
+	// (deterministic, no jitter); 0 retries immediately.
+	Backoff time.Duration
+	// FsyncEvery syncs the journal every N appends; ≤ 1 syncs every append.
+	FsyncEvery int
+	// Observer, if set, sees per-cell progress (cells carry Label() as
+	// their system column).
+	Observer sweep.Observer
+	// Context cancels the campaign: in-flight cells finish and are
+	// journaled, pending cells are skipped, and Run returns
+	// *InterruptedError. Nil means never cancelled.
+	Context context.Context
+}
+
+// Summary counts the report's cells by disposition.
+type Summary struct {
+	Total   int `json:"total"`
+	OK      int `json:"ok"`
+	Failed  int `json:"failed"`
+	Timeout int `json:"timeout"`
+}
+
+// Report is a completed campaign: every cell of the space in enumeration
+// order plus the per-workload Pareto frontiers. All content is a pure
+// function of the space, so a report assembled across any number of
+// kill/resume cycles is byte-identical to one from an uninterrupted run.
+type Report struct {
+	Space   Space      `json:"space"`
+	Summary Summary    `json:"summary"`
+	Cells   []Record   `json:"cells"`
+	Pareto  []Frontier `json:"pareto,omitempty"`
+}
+
+// InterruptedError reports a cancelled campaign: how far it got, and that
+// the journal (if any) holds the checkpoint.
+type InterruptedError struct {
+	Completed, Total int
+}
+
+func (e *InterruptedError) Error() string {
+	return fmt.Sprintf("campaign: interrupted after %d/%d cells; the journal holds the checkpoint — rerun with resume to continue",
+		e.Completed, e.Total)
+}
+
+// retryable classifies an attempt failure as host-or-transient trouble
+// worth a bounded retry: typed simulation aborts (which fault campaigns
+// deliberately provoke but campaigns treat as possibly-environmental),
+// wall-clock timeouts, and recovered worker panics. Checker mismatches and
+// validation errors are deterministic verdicts and are not retried.
+func retryable(err error) bool {
+	var se *sim.SimError
+	var te *sweep.TimeoutError
+	var pe *sweep.PanicError
+	return errors.As(err, &se) || errors.As(err, &te) || errors.As(err, &pe)
+}
+
+// firstLine truncates an error message to its first line for the journal's
+// reason field (multi-line reasons would complicate the line-oriented log).
+func firstLine(err error) string {
+	s := err.Error()
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}
+
+// makeRecord freezes a finished cell into its journal record. Only
+// deterministic, simulated quantities are captured.
+func makeRecord(p Params, r sim.Result) Record {
+	rec := Record{Cell: p.ID(), Params: p}
+	var te *sweep.TimeoutError
+	switch {
+	case r.Err == nil:
+		rec.Status = StatusOK
+		rec.Cycles = r.Cycles
+		rec.EnergyReadEq = r.EnergyEq
+		rec.SpawnCost = r.SpawnCost
+		rec.AreaFactor = analytic.SystemAreaFactor(r.System)
+		d := metrics.Derive(r.Stats, r.Cycles)
+		if !d.Degenerate {
+			rec.L2MissRate = d.L2.MissRate
+			rec.LLCMissRate = d.LLC.MissRate
+			rec.DRAMBusUtil = d.DRAMBusUtil
+		}
+	case errors.As(r.Err, &te):
+		rec.Status = StatusTimeout
+		rec.Reason = firstLine(r.Err)
+	default:
+		rec.Status = StatusFailed
+		rec.Reason = firstLine(r.Err)
+	}
+	return rec
+}
+
+// journalObserver sits between the sweep pool and the campaign: it turns
+// each CellDone into exactly one journal record — CellDone fires once per
+// cell, after retries resolve, so the journal never double-counts — and
+// forwards progress to the user's observer. A journal write failure
+// cancels the campaign: continuing without a checkpoint would silently
+// void the crash-safety contract.
+type journalObserver struct {
+	j      *Journal
+	params []Params // pending cells by sweep index
+	inner  sweep.Observer
+	cancel context.CancelFunc
+
+	mu   sync.Mutex
+	recs map[string]Record
+	err  error
+}
+
+func (o *journalObserver) CellStart(i int, kernel, system string) {
+	if o.inner != nil {
+		o.inner.CellStart(i, kernel, system)
+	}
+}
+
+func (o *journalObserver) CellDone(i, done, total int, r sim.Result, wall time.Duration) {
+	rec := makeRecord(o.params[i], r)
+	o.mu.Lock()
+	o.recs[rec.Cell] = rec
+	if o.j != nil {
+		if err := o.j.Append(rec); err != nil && o.err == nil {
+			o.err = err
+			o.cancel()
+		}
+	}
+	o.mu.Unlock()
+	if o.inner != nil {
+		o.inner.CellDone(i, done, total, r, wall)
+	}
+}
+
+func (o *journalObserver) SweepDone(done, total int) {
+	if o.inner != nil {
+		o.inner.SweepDone(done, total)
+	}
+}
+
+// Run executes the campaign: enumerate the space, skip cells the journal
+// already settled, run the rest on the sweep pool under the watchdog and
+// retry policy, journal each completion, and assemble the report. On
+// cancellation it returns *InterruptedError with the checkpoint safely on
+// disk; a later Resume run picks up where it stopped and produces the
+// byte-identical report.
+func Run(cfg RunConfig) (*Report, error) {
+	space := cfg.Space.withDefaults()
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	all := space.Enumerate()
+	ids := make([]string, len(all))
+	index := make(map[string]int, len(all))
+	for i, p := range all {
+		ids[i] = p.ID()
+		if prev, dup := index[ids[i]]; dup {
+			return nil, fmt.Errorf("campaign: cell ID collision between %s and %s", all[prev], p)
+		}
+		index[ids[i]] = i
+	}
+
+	// Load the checkpoint. Prior records are replayed in file order with
+	// last-record-wins semantics, so a journal that (legitimately) holds a
+	// timeout record followed by the resumed run's ok record settles on ok.
+	var (
+		journal *Journal
+		settled = make(map[string]Record)
+	)
+	if cfg.Journal != "" {
+		var err error
+		if cfg.Resume {
+			var prior []Record
+			journal, prior, err = Open(cfg.Journal, cfg.FsyncEvery)
+			if err != nil {
+				return nil, err
+			}
+			for _, r := range prior {
+				i, ok := index[r.Cell]
+				if !ok {
+					_ = journal.Close()
+					return nil, fmt.Errorf("campaign: journal record %s (%s) is not a cell of this space; resuming under a changed space would stitch incompatible results", r.Cell, r.Params)
+				}
+				if r.Params != all[i] {
+					_ = journal.Close()
+					return nil, fmt.Errorf("campaign: journal record %s carries parameters %s but the space enumerates %s for that ID", r.Cell, r.Params, all[i])
+				}
+				settled[r.Cell] = r
+			}
+		} else {
+			journal, err = Create(cfg.Journal, cfg.FsyncEvery)
+			if err != nil {
+				return nil, err
+			}
+		}
+		defer func() {
+			_ = journal.Close()
+		}()
+	}
+
+	// Pending = never journaled, or journaled as timeout (host trouble —
+	// worth another try on a, presumably, healthier host).
+	var pending []int
+	for i := range all {
+		if r, ok := settled[ids[i]]; ok && r.Status != StatusTimeout {
+			continue
+		}
+		pending = append(pending, i)
+	}
+
+	ctx, cancel := context.WithCancel(cfgContext(cfg))
+	defer cancel()
+	obs := &journalObserver{
+		j:      journal,
+		params: make([]Params, len(pending)),
+		inner:  cfg.Observer,
+		cancel: cancel,
+		recs:   make(map[string]Record, len(pending)),
+	}
+	cells := make([]sweep.Cell, len(pending))
+	for slot, i := range pending {
+		p := all[i]
+		obs.params[slot] = p
+		scfg := p.SystemConfig(space.MaxUProgCycles)
+		cells[slot] = sweep.Cell{
+			Kernel: fmt.Sprintf("%s@%d", p.Kernel, p.Scale),
+			System: p.Label(),
+			Run: func() sim.Result {
+				k, err := p.Workload()
+				if err != nil {
+					// Validate() already vetted the family; this is a
+					// registry bug, not a cell condition.
+					return sim.Result{Kernel: p.Kernel, System: p.Label(), Err: err}
+				}
+				return sim.Run(scfg, k)
+			},
+		}
+	}
+
+	_, sweepErr := sweep.ForEach(cells, sweep.Options{
+		Workers:     cfg.Workers,
+		Observer:    obs,
+		Context:     ctx,
+		CellTimeout: cfg.CellTimeout,
+		Retry: sweep.RetryPolicy{
+			Max:       cfg.Retries,
+			Backoff:   cfg.Backoff,
+			Retryable: retryable,
+		},
+	})
+	// Per-cell failures are recorded, not fatal: graceful degradation means
+	// a failed cell is a data point. Only infrastructure failures (journal
+	// writes) or cancellation abort the campaign below; sweepErr otherwise
+	// only aggregates the per-cell errors already in the journal.
+	_ = sweepErr
+
+	obs.mu.Lock()
+	journalErr := obs.err
+	newRecs := obs.recs
+	obs.mu.Unlock()
+	if journalErr != nil {
+		return nil, journalErr
+	}
+	if journal != nil {
+		if err := journal.Sync(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Assemble the report in enumeration order. A cell missing from both
+	// the checkpoint and this run's records was skipped by cancellation.
+	rep := &Report{Space: space}
+	rep.Cells = make([]Record, 0, len(all))
+	missing := 0
+	for i := range all {
+		r, ok := newRecs[ids[i]]
+		if !ok {
+			r, ok = settled[ids[i]]
+			if !ok || r.Status == StatusTimeout {
+				// Never journaled, or journaled as timeout and scheduled
+				// for a re-run that cancellation skipped: still unsettled.
+				missing++
+				continue
+			}
+		}
+		rep.Cells = append(rep.Cells, r)
+		rep.Summary.Total++
+		switch r.Status {
+		case StatusOK:
+			rep.Summary.OK++
+		case StatusFailed:
+			rep.Summary.Failed++
+		case StatusTimeout:
+			rep.Summary.Timeout++
+		}
+	}
+	if missing > 0 {
+		return nil, &InterruptedError{Completed: len(all) - missing, Total: len(all)}
+	}
+	rep.Pareto = Frontiers(rep.Cells)
+	return rep, nil
+}
+
+// cfgContext returns the campaign's cancellation context, never nil.
+func cfgContext(cfg RunConfig) context.Context {
+	if cfg.Context != nil {
+		return cfg.Context
+	}
+	return context.Background()
+}

@@ -1,6 +1,8 @@
 package faults
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/isa"
@@ -33,6 +35,10 @@ type Config struct {
 	VerifyBaseline bool
 	// Observer receives sweep progress events; nil disables reporting.
 	Observer sweep.Observer
+	// Context cancels the campaign: a cancelled baseline phase aborts with
+	// an error, a cancelled injection phase flushes a partial report whose
+	// unreached cells are simply absent. Nil means never cancelled.
+	Context context.Context
 }
 
 // CellResult is one (kernel, fault site) injection outcome.
@@ -132,6 +138,7 @@ func Run(cfg Config) (*Report, error) {
 	}
 	bres, err := sweep.ForEach(bcells, sweep.Options{
 		Workers: cfg.Workers, Observer: cfg.Observer, AbortOnError: true,
+		Context: cfg.Context,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("faults: baseline phase: %w", err)
@@ -167,6 +174,7 @@ func Run(cfg Config) (*Report, error) {
 	// abort, and the aggregate first-error is deliberately discarded.
 	fres, _ := sweep.ForEach(cells, sweep.Options{
 		Workers: cfg.Workers, Observer: cfg.Observer, RetryOnce: cfg.RetryOnce,
+		Context: cfg.Context,
 	})
 
 	rep := &Report{System: sys, Seed: cfg.Seed}
@@ -182,6 +190,12 @@ func Run(cfg Config) (*Report, error) {
 	}
 	for i, m := range metas {
 		r := fres[i]
+		if errors.Is(r.Err, sweep.ErrSkipped) {
+			// Cancellation skipped the cell: it was never simulated, so it
+			// is absent from the (partial) report rather than misclassified
+			// as a crash.
+			continue
+		}
 		cr := CellResult{
 			Kernel:   cfg.Kernels[m.ki].Name,
 			Fault:    m.fault,

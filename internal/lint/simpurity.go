@@ -23,6 +23,12 @@ var SimpurityPackages = []string{
 	// outputs land verbatim in bit-stable bench reports, so it is bound by
 	// both contracts (ProbepurityPackages includes this list wholesale).
 	"repro/internal/metrics",
+	// The campaign engine's byte-identical-resume contract is a purity
+	// contract: every journaled and reported quantity must be a function of
+	// the space alone. Its few legitimate wall-clock sites (retry pacing,
+	// watchdog, progress) live in internal/sweep behind annotations.
+	"repro/internal/campaign",
+	"repro/cmd/eve-explore",
 }
 
 // Simpurity enforces the purity contract documented on sim.Run: simulation

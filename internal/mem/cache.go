@@ -179,6 +179,12 @@ func NewCache(cfg CacheConfig, lower Level) *Cache {
 // Name identifies the cache.
 func (c *Cache) Name() string { return c.cfg.Name }
 
+// Ways reports the cache's configured associativity (ignoring any active
+// partition), so callers holding only the built cache — a hierarchy whose
+// geometry was overridden per cell, say — can reason about way splits
+// without reaching for the package-level Table III configs.
+func (c *Cache) Ways() int { return c.cfg.Ways }
+
 // Stats returns a snapshot of the counters.
 func (c *Cache) Stats() CacheStats { return c.stats }
 

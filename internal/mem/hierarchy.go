@@ -70,7 +70,9 @@ func (h *Hierarchy) SpawnEVE() int64 {
 	if h.eveActive {
 		return 0
 	}
-	invalidated, dirty := h.L2.Partition(L2Config.Ways / 2)
+	// Halve the L2's *actual* associativity: a hierarchy built with a custom
+	// geometry (design-space exploration) splits its own ways, not Table III's.
+	invalidated, dirty := h.L2.Partition(h.L2.Ways() / 2)
 	h.eveActive = true
 	// One cycle to invalidate each line; dirty lines take two more to issue
 	// the writeback to the LLC (§V-E: linear in the number of cache lines).

@@ -42,6 +42,54 @@ type Config struct {
 	// *SimError. It does not contribute to Name(): two configs differing
 	// only in the watchdog simulate the same system.
 	MaxUProgCycles int
+
+	// Mem optionally overrides the Table III memory system — cache
+	// geometries, MSHR pools, bank counts, DRAM timings. Nil simulates the
+	// paper's hierarchy. Design-space exploration (internal/campaign) sweeps
+	// these axes per cell; every parameter still flows through a Config
+	// struct, so the paramlit provenance discipline holds. Mem is read-only
+	// after construction and may be shared across concurrent Run calls; it
+	// does not contribute to Name() — campaign cells carry their own
+	// content-hashed identity.
+	Mem *MemParams
+}
+
+// MemParams overrides pieces of the Table III memory system. A zero-value
+// cache level inherits that level's Table III configuration (the override's
+// Name is likewise forced to the canonical level name so stats paths stay
+// stable); zero DRAM fields inherit the DDR4-2400 timings.
+type MemParams struct {
+	L1D, L2, LLC mem.CacheConfig
+	// DRAMLatency is the closed-page access latency in core cycles.
+	DRAMLatency int64
+	// DRAMCyclesPerLine is the bus occupancy of one 64-byte line transfer.
+	DRAMCyclesPerLine float64
+}
+
+// hierarchy builds the memory system the config describes: Table III by
+// default, with any MemParams overrides applied per level.
+func (c Config) hierarchy() *mem.Hierarchy {
+	if c.Mem == nil {
+		return mem.NewHierarchy()
+	}
+	pick := func(over, def mem.CacheConfig) mem.CacheConfig {
+		if over == (mem.CacheConfig{}) {
+			return def
+		}
+		over.Name = def.Name
+		return over
+	}
+	h := mem.NewHierarchyCfg(
+		pick(c.Mem.L1D, mem.L1DConfig),
+		pick(c.Mem.L2, mem.L2Config),
+		pick(c.Mem.LLC, mem.LLCConfig))
+	if c.Mem.DRAMLatency > 0 {
+		h.DRAM.Latency = c.Mem.DRAMLatency
+	}
+	if c.Mem.DRAMCyclesPerLine > 0 {
+		h.DRAM.CyclesPerLine = c.Mem.DRAMCyclesPerLine
+	}
+	return h
 }
 
 // Name renders the paper's system label.
@@ -168,7 +216,7 @@ type runOpts struct {
 }
 
 func run(cfg Config, k *workloads.Kernel, opts runOpts) (res Result) {
-	h := mem.NewHierarchy()
+	h := cfg.hierarchy()
 	flat := mem.NewFlat(64 << 20)
 
 	coreCfg := cpu.O3Config

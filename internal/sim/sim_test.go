@@ -1,9 +1,11 @@
 package sim
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/eve"
+	"repro/internal/mem"
 	"repro/internal/workloads"
 )
 
@@ -172,5 +174,70 @@ func TestMatrixShape(t *testing.T) {
 	}
 	if res[0][1].Breakdown.Total() == 0 {
 		t.Fatal("EVE cell missing breakdown")
+	}
+}
+
+// TestMemParamsTableIIIEquivalent: a Config whose MemParams spell out the
+// Table III values explicitly must simulate bit-identically to the nil-Mem
+// default — the override path adds parameterization, never behaviour.
+func TestMemParamsTableIIIEquivalent(t *testing.T) {
+	k := workloads.NewBackprop(128, 32)
+	for _, cfg := range []Config{{Kind: SysO3}, {Kind: SysO3EVE, N: 8}} {
+		want := Run(cfg, k)
+		cfg.Mem = &MemParams{
+			L1D:               mem.L1DConfig,
+			L2:                mem.L2Config,
+			LLC:               mem.LLCConfig,
+			DRAMLatency:       mem.DefaultDRAM().Latency,
+			DRAMCyclesPerLine: mem.DefaultDRAM().CyclesPerLine,
+		}
+		got := Run(cfg, k)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: explicit Table III MemParams diverge from defaults:\n got  %+v\n want %+v",
+				cfg.Name(), got, want)
+		}
+	}
+}
+
+// TestMemParamsMoveResults: shrinking the cache hierarchy and slowing DRAM
+// must make a memory-bound kernel measurably slower while the checker still
+// validates — the exploration axes really reach the timing model. Jacobi's
+// 256 KiB grid re-swept four times fits the Table III L2 but thrashes a
+// 32 KiB L2 / 64 KiB LLC.
+func TestMemParamsMoveResults(t *testing.T) {
+	k := workloads.NewJacobi2D(256, 4)
+	base := Run(Config{Kind: SysO3}, k)
+	if base.Err != nil {
+		t.Fatalf("baseline: %v", base.Err)
+	}
+	tinyL2 := mem.L2Config
+	tinyL2.SizeBytes = 32 << 10
+	tinyLLC := mem.LLCConfig
+	tinyLLC.SizeBytes = 64 << 10
+	slow := Run(Config{Kind: SysO3, Mem: &MemParams{L2: tinyL2, LLC: tinyLLC, DRAMLatency: 200}}, k)
+	if slow.Err != nil {
+		t.Fatalf("overridden hierarchy failed validation: %v", slow.Err)
+	}
+	if slow.Cycles <= base.Cycles {
+		t.Errorf("64 KiB LLC + 200-cycle DRAM should be slower: %d vs %d cycles", slow.Cycles, base.Cycles)
+	}
+	if slow.LLC.Misses <= base.LLC.Misses {
+		t.Errorf("smaller LLC should miss more: %d vs %d", slow.LLC.Misses, base.LLC.Misses)
+	}
+}
+
+// TestMemParamsEVEWaySplit: the L2 way-split must follow the overridden
+// associativity (the SpawnEVE fix), so an EVE system with a 4-way L2 still
+// validates and partitions its own geometry rather than Table III's.
+func TestMemParamsEVEWaySplit(t *testing.T) {
+	l2 := mem.L2Config
+	l2.Ways = 4
+	cfg := Config{Kind: SysO3EVE, N: 8, Mem: &MemParams{L2: l2}}
+	r := Run(cfg, workloads.NewVVAdd(1<<10))
+	if r.Err != nil || r.Cycles <= 0 {
+		t.Fatalf("EVE on a 4-way L2: %+v", r)
+	}
+	if r.Breakdown.Total() == 0 {
+		t.Fatal("EVE cell missing breakdown under overridden geometry")
 	}
 }

@@ -11,8 +11,10 @@ import (
 
 // Progress is an Observer printing one line per completed cell — aggregate
 // progress, the cell's cycle count (or failure) and its wall time — plus a
-// sweep summary when the last cell lands. It serializes writes internally,
-// so a single Progress may observe any number of workers.
+// sweep summary when the pool drains. The summary is emitted from SweepDone,
+// so it survives early aborts and cancellation: an interrupted sweep still
+// reports how far it got instead of going silent. Progress serializes writes
+// internally, so a single Progress may observe any number of workers.
 type Progress struct {
 	mu    sync.Mutex
 	w     io.Writer
@@ -28,10 +30,10 @@ func NewProgress(w io.Writer) *Progress {
 }
 
 // CellStart implements Observer.
-func (p *Progress) CellStart(kernel, system string) {}
+func (p *Progress) CellStart(i int, kernel, system string) {}
 
 // CellDone implements Observer.
-func (p *Progress) CellDone(done, total int, r sim.Result, wall time.Duration) {
+func (p *Progress) CellDone(i, done, total int, r sim.Result, wall time.Duration) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.busy += wall
@@ -44,10 +46,23 @@ func (p *Progress) CellDone(done, total int, r sim.Result, wall time.Duration) {
 	//evelint:allow errdrop -- best-effort progress output; a failed write must not kill the sweep
 	fmt.Fprintf(p.w, "[%d/%d] %-11s %-10s %s (%.2fs)\n",
 		done, total, r.Kernel, r.System, status, wall.Seconds())
-	if done == total {
-		elapsed := time.Since(p.start) //evelint:allow simpurity -- progress telemetry, not simulated state
-		//evelint:allow errdrop -- best-effort progress output; a failed write must not kill the sweep
-		fmt.Fprintf(p.w, "sweep: %d cells in %.2fs wall (%.2fs of simulation, %.1fx overlap)\n",
-			total, elapsed.Seconds(), p.busy.Seconds(), p.busy.Seconds()/elapsed.Seconds())
+}
+
+// SweepDone implements Observer: the end-of-sweep summary, emitted whether
+// the sweep completed, aborted, or was cancelled.
+func (p *Progress) SweepDone(done, total int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	elapsed := time.Since(p.start) //evelint:allow simpurity -- progress telemetry, not simulated state
+	overlap := 0.0
+	if elapsed > 0 {
+		overlap = p.busy.Seconds() / elapsed.Seconds()
 	}
+	head := fmt.Sprintf("sweep: %d cells", total)
+	if done != total {
+		head = fmt.Sprintf("sweep: stopped after %d/%d cells", done, total)
+	}
+	//evelint:allow errdrop -- best-effort progress output; a failed write must not kill the sweep
+	fmt.Fprintf(p.w, "%s in %.2fs wall (%.2fs of simulation, %.1fx overlap)\n",
+		head, elapsed.Seconds(), p.busy.Seconds(), overlap)
 }

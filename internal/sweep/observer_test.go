@@ -1,0 +1,113 @@
+package sweep
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// TestProgressCellLine pins the per-cell line format: aggregate progress,
+// kernel, system, status, wall seconds.
+func TestProgressCellLine(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf)
+	p.CellDone(0, 1, 2, sim.Result{Kernel: "vvadd", System: "IO", Cycles: 42}, 1500*time.Millisecond)
+	line := buf.String()
+	for _, want := range []string{"[1/2]", "vvadd", "IO", "42 cycles", "(1.50s)"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("cell line %q missing %q", line, want)
+		}
+	}
+	if n := strings.Count(line, "\n"); n != 1 {
+		t.Errorf("CellDone wrote %d lines, want 1: %q", n, line)
+	}
+}
+
+// TestProgressFailedCell: a failed cell's line carries the error text
+// instead of a cycle count.
+func TestProgressFailedCell(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf)
+	r := sim.Result{Kernel: "k", System: "s", Err: errors.New("checker mismatch")}
+	p.CellDone(3, 4, 9, r, time.Millisecond)
+	if !strings.Contains(buf.String(), "FAILED: checker mismatch") {
+		t.Errorf("failed cell line = %q, want FAILED status", buf.String())
+	}
+	if strings.Contains(buf.String(), "cycles") {
+		t.Errorf("failed cell line still reports cycles: %q", buf.String())
+	}
+}
+
+// TestProgressSummaryOnCompletion: SweepDone after a full sweep emits the
+// completed-form summary.
+func TestProgressSummaryOnCompletion(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf)
+	p.CellDone(0, 1, 2, sim.Result{Kernel: "a", System: "s", Cycles: 1}, time.Millisecond)
+	p.CellDone(1, 2, 2, sim.Result{Kernel: "b", System: "s", Cycles: 1}, time.Millisecond)
+	p.SweepDone(2, 2)
+	sum := lastLine(buf.String())
+	if !strings.HasPrefix(sum, "sweep: 2 cells in ") {
+		t.Errorf("completion summary = %q", sum)
+	}
+	if strings.Contains(sum, "stopped") {
+		t.Errorf("completed sweep rendered the interrupted form: %q", sum)
+	}
+}
+
+// TestProgressSummaryOnAbort is the regression test for the summary-on-abort
+// fix: a sweep that stops early must still emit its final line, in the
+// stopped-after form.
+func TestProgressSummaryOnAbort(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf)
+	p.CellDone(0, 1, 5, sim.Result{Kernel: "a", System: "s", Cycles: 1}, time.Millisecond)
+	p.SweepDone(1, 5)
+	sum := lastLine(buf.String())
+	if !strings.HasPrefix(sum, "sweep: stopped after 1/5 cells in ") {
+		t.Errorf("abort summary = %q, want the stopped-after form", sum)
+	}
+}
+
+// TestProgressSummarySurvivesAbortEndToEnd drives the fix through ForEach:
+// an AbortOnError sweep that fails on its first cell must still end with a
+// summary line on the progress stream.
+func TestProgressSummarySurvivesAbortEndToEnd(t *testing.T) {
+	var buf bytes.Buffer
+	cells := []Cell{
+		{Kernel: "bad", System: "s", Run: func() sim.Result {
+			return sim.Result{Kernel: "bad", System: "s", Err: errors.New("boom")}
+		}},
+		{Kernel: "never", System: "s", Run: func() sim.Result {
+			return sim.Result{Kernel: "never", System: "s", Cycles: 1}
+		}},
+	}
+	if _, err := ForEach(cells, Options{Workers: 1, AbortOnError: true, Observer: NewProgress(&buf)}); err == nil {
+		t.Fatal("aborting sweep returned nil error")
+	}
+	sum := lastLine(buf.String())
+	if !strings.HasPrefix(sum, "sweep: stopped after 1/2 cells") {
+		t.Errorf("end-to-end abort summary = %q, want stopped-after form as the last line", sum)
+	}
+}
+
+// TestProgressZeroElapsedOverlap: a summary for an instantaneous sweep must
+// not render NaN/Inf overlap.
+func TestProgressZeroElapsedOverlap(t *testing.T) {
+	var buf bytes.Buffer
+	p := &Progress{w: &buf, start: time.Now()}
+	p.SweepDone(0, 0)
+	if s := buf.String(); strings.Contains(s, "NaN") || strings.Contains(s, "Inf") {
+		t.Errorf("degenerate summary rendered a non-finite overlap: %q", s)
+	}
+}
+
+// lastLine returns the final non-empty line of s.
+func lastLine(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	return lines[len(lines)-1]
+}

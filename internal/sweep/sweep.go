@@ -23,6 +23,7 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -36,7 +37,10 @@ import (
 )
 
 // ErrSkipped marks a cell that was never simulated because the sweep
-// aborted on an earlier validation failure (Options.AbortOnError).
+// stopped handing out work early: an abort on an earlier validation failure
+// (Options.AbortOnError) or a cancelled Options.Context. Skipped cells are
+// a symptom, never a root cause, and resumable campaigns treat them as
+// simply not-yet-run.
 var ErrSkipped = errors.New("sweep: cell skipped after early abort")
 
 // PanicError is a cell's recovered panic: the simulation crashed in a way
@@ -52,17 +56,57 @@ func (e *PanicError) Error() string {
 	return fmt.Sprintf("simulation panicked: %s\n%s", e.Value, e.Stack)
 }
 
-// Observer receives sweep progress events. CellDone is invoked from worker
-// goroutines, possibly concurrently; implementations must be safe for
-// concurrent use.
+// TimeoutError is a cell attempt abandoned by the per-cell wall-clock
+// watchdog (Options.CellTimeout). It is host trouble by definition — a
+// deterministic simulation either always finishes within any sane budget or
+// trips the in-simulation uprog watchdog deterministically — so resumable
+// campaigns treat it as retry-worthy rather than as a simulated outcome.
+// The message is stable: the budget is configuration, not measurement.
+type TimeoutError struct {
+	Kernel, System string
+	Budget         time.Duration
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("sweep: %s on %s exceeded the %v per-cell wall-clock budget", e.Kernel, e.System, e.Budget)
+}
+
+// Observer receives sweep progress events. CellStart and CellDone are
+// invoked from worker goroutines, possibly concurrently; implementations
+// must be safe for concurrent use.
 type Observer interface {
-	// CellStart fires when a worker picks up the (kernel, system) cell.
-	CellStart(kernel, system string)
-	// CellDone fires when the cell's simulation returns (or its panic is
-	// recovered). done counts completed cells so far — monotonic across
-	// the sweep, ending at total when no abort occurs — and wall is the
-	// cell's host wall-clock time.
-	CellDone(done, total int, r sim.Result, wall time.Duration)
+	// CellStart fires when a worker picks up cell i of the grid.
+	CellStart(i int, kernel, system string)
+	// CellDone fires once per cell — after retries resolve — when cell i's
+	// simulation returns (or its panic is recovered, or the watchdog gives
+	// up on it). done counts completed cells so far — monotonic across the
+	// sweep, ending at total when no abort occurs — and wall is the cell's
+	// host wall-clock time across all attempts. Skipped cells (abort,
+	// cancellation) never fire CellDone.
+	CellDone(i, done, total int, r sim.Result, wall time.Duration)
+	// SweepDone fires exactly once, after the pool drains — on completion,
+	// early abort, or cancellation alike — with the number of cells that
+	// actually completed. It is the hook for final summaries that must not
+	// vanish when a sweep stops early.
+	SweepDone(done, total int)
+}
+
+// RetryPolicy bounds re-running failed cell attempts. Deterministic
+// failures fail identically on every attempt, so retries cannot perturb a
+// deterministic grid — the policy exists for long campaigns where a cell's
+// failure may be host trouble (an OOM kill, a watchdog timeout) rather than
+// simulated behaviour.
+type RetryPolicy struct {
+	// Max is the number of additional attempts after the first; 0 disables
+	// retries.
+	Max int
+	// Backoff is the host-side delay before retry k: Backoff << (k-1),
+	// deterministic in the attempt number — no jitter — so retry schedules
+	// are reproducible. Zero retries immediately.
+	Backoff time.Duration
+	// Retryable reports whether a failed attempt's error is worth another
+	// attempt; nil retries every error.
+	Retryable func(error) bool
 }
 
 // Options configure a sweep.
@@ -78,11 +122,26 @@ type Options struct {
 	// sweeps that run to completion.
 	AbortOnError bool
 	// RetryOnce re-runs a cell whose first attempt produced a non-nil
-	// Result.Err; the second outcome stands. Deterministic failures fail
-	// twice identically, so retries cannot perturb a deterministic grid —
-	// the policy exists for long campaigns where a cell's failure may be
-	// host trouble rather than simulated behaviour.
+	// Result.Err; the second outcome stands. Shorthand for Retry{Max: 1}
+	// (ignored when Retry.Max is set), kept for existing campaign configs.
 	RetryOnce bool
+	// Retry bounds per-cell re-attempts; see RetryPolicy.
+	Retry RetryPolicy
+	// Context cancels the sweep: cells not yet started when the context is
+	// cancelled are marked ErrSkipped (the early-abort path) instead of
+	// running, so a SIGINT-wired caller checkpoints partial results and
+	// exits cleanly instead of dropping work mid-write. Cells already
+	// running finish — an attempt in flight still lands its result. Nil
+	// means never cancelled.
+	Context context.Context
+	// CellTimeout bounds one attempt's host wall-clock time; ≤0 disables
+	// the watchdog. A tripped attempt yields a *TimeoutError result. The
+	// abandoned simulation goroutine runs on to completion in the
+	// background — sim.Run's purity contract means it can no longer affect
+	// anything — so the budget bounds progress, not process memory. This is
+	// the host-side complement of sim.Config.MaxUProgCycles, which bounds
+	// *simulated* micro-program cycles deterministically.
+	CellTimeout time.Duration
 }
 
 func (o Options) workers() int {
@@ -90,6 +149,22 @@ func (o Options) workers() int {
 		return o.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// retry normalizes the two retry knobs into one policy.
+func (o Options) retry() RetryPolicy {
+	if o.Retry.Max == 0 && o.RetryOnce {
+		return RetryPolicy{Max: 1, Retryable: o.Retry.Retryable}
+	}
+	return o.Retry
+}
+
+// ctx returns the sweep's cancellation context, never nil.
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
 }
 
 // Cell is one schedulable simulation of a grid: a closure plus the labels
@@ -115,6 +190,7 @@ func ForEach(cells []Cell, opts Options) ([]sim.Result, error) {
 	}
 
 	jobs := make(chan int)
+	ctx := opts.ctx()
 	var (
 		wg      sync.WaitGroup
 		done    atomic.Int64
@@ -127,27 +203,24 @@ func ForEach(cells []Cell, opts Options) ([]sim.Result, error) {
 			defer wg.Done()
 			for i := range jobs {
 				c := cells[i]
-				if opts.AbortOnError && aborted.Load() {
+				if (opts.AbortOnError && aborted.Load()) || ctx.Err() != nil {
 					out[i] = sim.Result{System: c.System, Kernel: c.Kernel, Err: ErrSkipped}
 					continue
 				}
 				if opts.Observer != nil {
-					opts.Observer.CellStart(c.Kernel, c.System)
+					opts.Observer.CellStart(i, c.Kernel, c.System)
 				}
 				// Wall time here is observer telemetry only — it never touches
 				// a Result, so the determinism contract is unaffected.
 				start := time.Now() //evelint:allow simpurity -- progress telemetry, not simulated state
-				r := runCell(c)
-				if r.Err != nil && opts.RetryOnce {
-					r = runCell(c)
-				}
+				r := runAttempts(ctx, c, opts)
 				out[i] = r
 				if r.Err != nil {
 					aborted.Store(true)
 				}
 				if opts.Observer != nil {
 					//evelint:allow simpurity -- per-cell wall time feeds the progress observer only
-					opts.Observer.CellDone(int(done.Add(1)), total, r, time.Since(start))
+					opts.Observer.CellDone(i, int(done.Add(1)), total, r, time.Since(start))
 				}
 			}
 		}()
@@ -157,6 +230,9 @@ func ForEach(cells []Cell, opts Options) ([]sim.Result, error) {
 	}
 	close(jobs)
 	wg.Wait()
+	if opts.Observer != nil {
+		opts.Observer.SweepDone(int(done.Load()), total)
+	}
 
 	// Report the first *root* failure in cell order; a skipped cell is only
 	// a symptom of an abort and never the headline error.
@@ -200,6 +276,58 @@ func Matrix(systems []sim.Config, kernels []*workloads.Kernel, opts Options) ([]
 		out[i] = flat[i*len(systems) : (i+1)*len(systems)]
 	}
 	return out, err
+}
+
+// runAttempts runs one cell to its final outcome: the first attempt plus up
+// to Retry.Max re-attempts with deterministic backoff, each attempt bounded
+// by the wall-clock watchdog. The last attempt's result stands. Cancellation
+// stops further retries but never abandons the attempt in flight.
+func runAttempts(ctx context.Context, c Cell, opts Options) sim.Result {
+	policy := opts.retry()
+	r := runCellBounded(c, opts.CellTimeout)
+	for attempt := 1; r.Err != nil && attempt <= policy.Max && ctx.Err() == nil; attempt++ {
+		if policy.Retryable != nil && !policy.Retryable(r.Err) {
+			break
+		}
+		if policy.Backoff > 0 {
+			// Deterministic exponential backoff: Backoff << (attempt-1). The
+			// delay is host-side pacing only and never reaches a Result.
+			t := time.NewTimer(policy.Backoff << (attempt - 1)) //evelint:allow simpurity -- retry pacing, not simulated state
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return r
+			}
+		}
+		r = runCellBounded(c, opts.CellTimeout)
+	}
+	return r
+}
+
+// runCellBounded runs one attempt under the wall-clock watchdog. A timed-out
+// attempt keeps running in a background goroutine — goroutines cannot be
+// killed, and sim.Run's purity contract guarantees the orphan shares nothing
+// — while the cell's slot records a *TimeoutError; the buffered channel lets
+// the orphan finish and exit without a receiver.
+func runCellBounded(c Cell, timeout time.Duration) sim.Result {
+	if timeout <= 0 {
+		return runCell(c)
+	}
+	ch := make(chan sim.Result, 1)
+	go func() { ch <- runCell(c) }()
+	watchdog := time.NewTimer(timeout) //evelint:allow simpurity -- wall-clock watchdog over host progress, not simulated state
+	defer watchdog.Stop()
+	select {
+	case r := <-ch:
+		return r
+	case <-watchdog.C:
+		return sim.Result{
+			System: c.System,
+			Kernel: c.Kernel,
+			Err:    &TimeoutError{Kernel: c.Kernel, System: c.System, Budget: timeout},
+		}
+	}
 }
 
 // runCell runs one cell, converting a panicking simulation into a Result

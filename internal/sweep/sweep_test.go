@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"strings"
@@ -155,21 +156,24 @@ func TestAbortOnError(t *testing.T) {
 
 // countingObserver tallies events for the observer-plumbing test.
 type countingObserver struct {
-	mu     sync.Mutex
-	starts int
-	dones  int
-	maxDon int
-	total  int
-	wall   time.Duration
+	mu        sync.Mutex
+	starts    int
+	dones     int
+	maxDon    int
+	total     int
+	wall      time.Duration
+	sweepDone int // SweepDone invocations
+	finalDone int // done count reported by SweepDone
+	cellsSeen map[int]int // cell index -> CellDone count
 }
 
-func (c *countingObserver) CellStart(kernel, system string) {
+func (c *countingObserver) CellStart(i int, kernel, system string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.starts++
 }
 
-func (c *countingObserver) CellDone(done, total int, r sim.Result, wall time.Duration) {
+func (c *countingObserver) CellDone(i, done, total int, r sim.Result, wall time.Duration) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.dones++
@@ -178,6 +182,17 @@ func (c *countingObserver) CellDone(done, total int, r sim.Result, wall time.Dur
 		c.maxDon = done
 	}
 	c.wall += wall
+	if c.cellsSeen == nil {
+		c.cellsSeen = map[int]int{}
+	}
+	c.cellsSeen[i]++
+}
+
+func (c *countingObserver) SweepDone(done, total int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sweepDone++
+	c.finalDone = done
 }
 
 // TestObserverSeesEveryCell checks the progress plumbing: one start and one
@@ -200,6 +215,14 @@ func TestObserverSeesEveryCell(t *testing.T) {
 	if obs.wall <= 0 {
 		t.Errorf("observer aggregate wall time = %v, want > 0", obs.wall)
 	}
+	if obs.sweepDone != 1 || obs.finalDone != cells {
+		t.Errorf("SweepDone fired %d times with done=%d, want once with %d", obs.sweepDone, obs.finalDone, cells)
+	}
+	for i := 0; i < cells; i++ {
+		if obs.cellsSeen[i] != 1 {
+			t.Errorf("cell %d fired CellDone %d times, want once", i, obs.cellsSeen[i])
+		}
+	}
 }
 
 // TestEmptyGrid: a degenerate sweep must return the right shape and no
@@ -212,6 +235,171 @@ func TestEmptyGrid(t *testing.T) {
 	got, err = Matrix(sim.AllSystems(), nil, Options{})
 	if err != nil || len(got) != 0 {
 		t.Fatalf("kernel-less sweep = (%v, %v), want ([], nil)", got, err)
+	}
+}
+
+// TestContextCancelSkipsRemaining: with one worker the grid runs in order,
+// so a cancellation fired from inside the first cell must mark every later
+// cell ErrSkipped — the early-abort path reused for cancellation — while
+// the finished cell's result stands and SweepDone still reports the tally.
+func TestContextCancelSkipsRemaining(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ok := sim.Result{Kernel: "k", System: "s", Cycles: 7}
+	cells := []Cell{
+		{Kernel: "first", System: "s", Run: func() sim.Result { cancel(); return ok }},
+		{Kernel: "second", System: "s", Run: func() sim.Result { return ok }},
+		{Kernel: "third", System: "s", Run: func() sim.Result { return ok }},
+	}
+	obs := &countingObserver{}
+	got, err := ForEach(cells, Options{Workers: 1, Context: ctx, Observer: obs})
+	if err == nil || !errors.Is(err, ErrSkipped) {
+		t.Fatalf("cancelled sweep error = %v, want ErrSkipped symptom", err)
+	}
+	if got[0].Err != nil || got[0].Cycles != 7 {
+		t.Errorf("finished cell perturbed by cancellation: %+v", got[0])
+	}
+	for i := 1; i < len(cells); i++ {
+		if !errors.Is(got[i].Err, ErrSkipped) {
+			t.Errorf("cell %d after cancel: err = %v, want ErrSkipped", i, got[i].Err)
+		}
+	}
+	if obs.sweepDone != 1 || obs.finalDone != 1 || obs.total != 3 {
+		t.Errorf("observer summary after cancel = %d fires, %d/%d done, want 1 fire, 1/3", obs.sweepDone, obs.finalDone, obs.total)
+	}
+}
+
+// TestContextCancelRace drives a real parallel sweep while cancelling from
+// the outside — under -race this audits the cancellation path's memory
+// discipline. Every cell must land either a valid result or ErrSkipped, and
+// the observer must see exactly one SweepDone.
+func TestContextCancelRace(t *testing.T) {
+	systems := sim.AllSystems()
+	kernels := determinismKernels()
+	var cells []Cell
+	for _, k := range kernels {
+		for _, s := range systems {
+			k, s := k, s
+			cells = append(cells, Cell{Kernel: k.Name, System: s.Name(),
+				Run: func() sim.Result { return sim.Run(s, k) }})
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	obs := &countingObserver{}
+	done := make(chan struct{})
+	go func() {
+		// Cancel as soon as the first few cells complete.
+		for {
+			obs.mu.Lock()
+			n := obs.dones
+			obs.mu.Unlock()
+			if n >= 2 {
+				cancel()
+				close(done)
+				return
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+	got, _ := ForEach(cells, Options{Workers: 4, Context: ctx, Observer: obs})
+	<-done
+	cancel()
+	finished := 0
+	for i, r := range got {
+		switch {
+		case errors.Is(r.Err, ErrSkipped):
+		case r.Err == nil && r.Cycles > 0:
+			finished++
+		default:
+			t.Errorf("cell %d has unexpected outcome: cycles=%d err=%v", i, r.Cycles, r.Err)
+		}
+	}
+	if finished == 0 {
+		t.Error("no cell finished before cancellation took effect")
+	}
+	if obs.sweepDone != 1 {
+		t.Errorf("SweepDone fired %d times, want exactly once", obs.sweepDone)
+	}
+	if obs.finalDone != finished {
+		t.Errorf("SweepDone reported %d done, observer counted %d", obs.finalDone, finished)
+	}
+}
+
+// TestCellTimeout: the wall-clock watchdog must convert a wedged cell into
+// a *TimeoutError result with a stable first line, while healthy siblings
+// complete untouched.
+func TestCellTimeout(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	cells := []Cell{
+		{Kernel: "wedged", System: "s", Run: func() sim.Result {
+			<-release // blocks until test teardown
+			return sim.Result{Kernel: "wedged", System: "s"}
+		}},
+		{Kernel: "healthy", System: "s", Run: func() sim.Result {
+			return sim.Result{Kernel: "healthy", System: "s", Cycles: 3}
+		}},
+	}
+	got, err := ForEach(cells, Options{Workers: 2, CellTimeout: 20 * time.Millisecond})
+	if err == nil {
+		t.Fatal("sweep with a wedged cell returned nil error")
+	}
+	var te *TimeoutError
+	if !errors.As(got[0].Err, &te) {
+		t.Fatalf("wedged cell error = %v, want *TimeoutError", got[0].Err)
+	}
+	if te.Kernel != "wedged" || te.Budget != 20*time.Millisecond {
+		t.Errorf("timeout identity = %+v", te)
+	}
+	if want := "sweep: wedged on s exceeded the 20ms per-cell wall-clock budget"; te.Error() != want {
+		t.Errorf("timeout message = %q, want %q (stable first line)", te.Error(), want)
+	}
+	if got[1].Err != nil || got[1].Cycles != 3 {
+		t.Errorf("healthy sibling perturbed: %+v", got[1])
+	}
+}
+
+// TestRetryPolicy: bounded retries with a retryable filter. A transient
+// failure clears within budget; a non-retryable failure is never re-run; an
+// exhausted cell keeps its final error after exactly Max+1 attempts.
+func TestRetryPolicy(t *testing.T) {
+	retryable := errors.New("host trouble")
+	fatal := errors.New("deterministic validation failure")
+	var attempts [3]int
+	cells := []Cell{
+		{Kernel: "transient", System: "s", Run: func() sim.Result {
+			attempts[0]++
+			if attempts[0] < 3 {
+				return sim.Result{Err: retryable}
+			}
+			return sim.Result{Cycles: 1}
+		}},
+		{Kernel: "nonretryable", System: "s", Run: func() sim.Result {
+			attempts[1]++
+			return sim.Result{Err: fatal}
+		}},
+		{Kernel: "exhausted", System: "s", Run: func() sim.Result {
+			attempts[2]++
+			return sim.Result{Err: retryable}
+		}},
+	}
+	policy := RetryPolicy{
+		Max:       3,
+		Backoff:   time.Millisecond,
+		Retryable: func(err error) bool { return errors.Is(err, retryable) },
+	}
+	got, err := ForEach(cells, Options{Workers: 1, Retry: policy})
+	if err == nil {
+		t.Fatal("sweep with failing cells returned nil error")
+	}
+	if attempts != [3]int{3, 1, 4} {
+		t.Errorf("attempts = %v, want [3 1 4] (clear on 3rd, never retried, Max+1)", attempts)
+	}
+	if got[0].Err != nil {
+		t.Errorf("transient cell still failed: %v", got[0].Err)
+	}
+	if !errors.Is(got[1].Err, fatal) || !errors.Is(got[2].Err, retryable) {
+		t.Errorf("failed cells lost their errors: %v, %v", got[1].Err, got[2].Err)
 	}
 }
 
