@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/workloads"
 )
 
@@ -38,8 +39,9 @@ func main() {
 // success, 1 on a comparison failure or regression, 2 on usage/run errors.
 // Diagnostics go through a bufio.Writer so per-line write errors latch; if
 // stderr itself is broken there is nowhere left to report that, so the final
-// Flush is best-effort.
-func realMain(args []string, stdout, stderr io.Writer) int {
+// Flush is best-effort. The named return keeps every exit on the return
+// path, so the deferred profiler flush always runs.
+func realMain(args []string, stdout, stderr io.Writer) (code int) {
 	w := bufio.NewWriter(stderr)
 	defer func() { _ = w.Flush() }()
 	fs := flag.NewFlagSet("eve-bench", flag.ContinueOnError)
@@ -54,9 +56,22 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	simOnly := fs.Bool("sim-only", false, "omit the host section, making the whole file byte-stable")
 	compare := fs.String("compare", "", "baseline BENCH_*.json to diff against; any simulated difference or a host wall-time regression beyond -band fails")
 	band := fs.Float64("band", 25, "allowed host wall-time regression in percent (negative disables the host check)")
+	prof := telemetry.NewProfiler(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if err := prof.Start(); err != nil {
+		fmt.Fprintln(w, "eve-bench:", err)
+		return 2
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintln(w, "eve-bench:", err)
+			if code == 0 {
+				code = 2
+			}
+		}
+	}()
 
 	cfg := benchConfig{
 		label:   *label,
@@ -110,8 +125,9 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(w, "eve-bench: wrote %s (%d cells)\n", path, len(rep.Simulated.Cells))
 	}
 	if rep.Host != nil {
-		fmt.Fprintf(w, "eve-bench: host wall min %.3fs over %d run(s), %d allocs (%d bytes)\n",
-			float64(rep.Host.WallNSMin)/1e9, rep.Host.Repeats, rep.Host.AllocsMin, rep.Host.AllocBytesMin)
+		fmt.Fprintf(w, "eve-bench: host wall min %.3fs over %d run(s), %d allocs (%d bytes), %d GC(s) (%.2fms pause)\n",
+			float64(rep.Host.WallNSMin)/1e9, rep.Host.Repeats, rep.Host.AllocsMin, rep.Host.AllocBytesMin,
+			rep.Host.NumGCMin, float64(rep.Host.GCPauseNSMin)/1e6)
 	}
 
 	if *compare == "" {

@@ -72,6 +72,11 @@ type Host struct {
 	WallNSMin     int64   `json:"wall_ns_min"`
 	AllocsMin     uint64  `json:"allocs_min"`
 	AllocBytesMin uint64  `json:"alloc_bytes_min"`
+	// NumGCMin and GCPauseNSMin are GC-cycle and stop-the-world-pause
+	// deltas around a repetition, min-of-k like the allocation deltas: how
+	// hard the collector worked to run the matrix once.
+	NumGCMin     uint32 `json:"num_gc_min"`
+	GCPauseNSMin uint64 `json:"gc_pause_ns_min"`
 }
 
 // benchConfig parameterizes one harness run.
@@ -143,6 +148,8 @@ func buildReport(cfg benchConfig) (*Report, error) {
 		host.WallNS = append(host.WallNS, wall.Nanoseconds())
 		allocs := m1.Mallocs - m0.Mallocs
 		allocBytes := m1.TotalAlloc - m0.TotalAlloc
+		numGC := m1.NumGC - m0.NumGC
+		gcPause := m1.PauseTotalNs - m0.PauseTotalNs
 		if repIdx == 0 || wall.Nanoseconds() < host.WallNSMin {
 			host.WallNSMin = wall.Nanoseconds()
 		}
@@ -151,6 +158,12 @@ func buildReport(cfg benchConfig) (*Report, error) {
 		}
 		if repIdx == 0 || allocBytes < host.AllocBytesMin {
 			host.AllocBytesMin = allocBytes
+		}
+		if repIdx == 0 || numGC < host.NumGCMin {
+			host.NumGCMin = numGC
+		}
+		if repIdx == 0 || gcPause < host.GCPauseNSMin {
+			host.GCPauseNSMin = gcPause
 		}
 
 		if repIdx == 0 {

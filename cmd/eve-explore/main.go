@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/sweep"
+	"repro/internal/telemetry"
 )
 
 // loadSpace reads the campaign space from path ("-" = stdin).
@@ -79,6 +80,13 @@ func emitReport(path string, rep *campaign.Report) error {
 }
 
 func main() {
+	os.Exit(run())
+}
+
+// run is the command body. The named return keeps every exit on the return
+// path, so deferred telemetry flushes (profiler, status server, run log)
+// always happen — including on the SIGINT checkpoint exit.
+func run() (code int) {
 	spacePath := flag.String("space", "", "campaign space JSON file (\"-\" for stdin); required")
 	size := flag.Bool("size", false, "print the space's cell count and exit without simulating")
 	journal := flag.String("journal", "", "checkpoint journal path (empty: no crash safety)")
@@ -90,20 +98,36 @@ func main() {
 	backoff := flag.Duration("backoff", 0, "base retry delay, doubled per attempt (deterministic, no jitter)")
 	fsyncEvery := flag.Int("fsync-every", 1, "fsync the journal every N records (1: every record)")
 	progress := flag.Bool("progress", false, "report per-cell progress and wall time on stderr")
+	statusAddr := flag.String("status", "", "serve live /status, /metrics and /debug/pprof/ on this address (e.g. 127.0.0.1:8321; default off)")
+	logJSON := flag.String("log-json", "", "append one JSON line per lifecycle event to this file (\"-\" for stderr)")
+	prof := telemetry.NewProfiler(flag.CommandLine)
 	flag.Parse()
+
+	if err := prof.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "eve-explore:", err)
+		return 2
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "eve-explore:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}()
 
 	if *spacePath == "" {
 		fmt.Fprintln(os.Stderr, "eve-explore: -space is required (a JSON campaign space)")
-		os.Exit(2)
+		return 2
 	}
 	space, err := loadSpace(*spacePath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "eve-explore:", err)
-		os.Exit(2)
+		return 2
 	}
 	if *size {
 		fmt.Println(space.Size())
-		return
+		return 0
 	}
 
 	// ^C / SIGTERM cancels through the campaign context: in-flight cells
@@ -123,8 +147,63 @@ func main() {
 		FsyncEvery:  *fsyncEvery,
 		Context:     ctx,
 	}
+
+	// The observer chain, innermost first: progress printer, JSON run log,
+	// status-server counters. Telemetry observes through the chain and, by
+	// contract, cannot perturb a simulated byte — the report and journal
+	// stay byte-identical however much of the chain is enabled.
+	var obs sweep.Observer
 	if *progress {
-		cfg.Observer = sweep.NewProgress(os.Stderr)
+		obs = sweep.NewProgress(os.Stderr)
+	}
+	var logger *telemetry.Logger
+	if *logJSON != "" {
+		logOut := io.Writer(os.Stderr)
+		if *logJSON != "-" {
+			f, err := os.OpenFile(*logJSON, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "eve-explore:", err)
+				return 2
+			}
+			defer func() {
+				if err := f.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, "eve-explore: run log:", err)
+				}
+			}()
+			logOut = f
+		}
+		logger = telemetry.NewLogger(logOut, obs)
+		obs = logger
+		stopWatch := telemetry.WatchSignals(logger, os.Interrupt, syscall.SIGTERM)
+		defer stopWatch()
+		defer func() {
+			if err := logger.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "eve-explore: run log:", err)
+			}
+		}()
+	}
+	var counters *telemetry.Counters
+	if *statusAddr != "" {
+		counters = telemetry.NewCounters(obs)
+		obs = counters
+		srv, err := telemetry.Serve(*statusAddr, counters)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "eve-explore:", err)
+			return 2
+		}
+		defer func() { _ = srv.Close() }()
+		fmt.Fprintf(os.Stderr, "telemetry: serving http://%s/status\n", srv.Addr())
+	}
+	cfg.Observer = obs
+	if counters != nil || logger != nil {
+		cfg.OnJournal = func(depth int) {
+			if counters != nil {
+				counters.SetJournalDepth(depth)
+			}
+			if logger != nil {
+				logger.JournalCheckpoint(depth)
+			}
+		}
 	}
 	fmt.Fprintf(os.Stderr, "exploring %d cells on %d workers...\n", space.Size(), *parallel)
 
@@ -136,17 +215,18 @@ func main() {
 		if *journal == "" {
 			fmt.Fprintln(os.Stderr, "eve-explore: no -journal was given, so the partial work is lost")
 		}
-		os.Exit(130)
+		return 130
 	case err != nil:
 		fmt.Fprintln(os.Stderr, "eve-explore:", err)
-		os.Exit(1)
+		return 1
 	}
 
 	if err := emitReport(*out, rep); err != nil {
 		fmt.Fprintln(os.Stderr, "eve-explore:", err)
-		os.Exit(1)
+		return 1
 	}
 	s := rep.Summary
 	fmt.Fprintf(os.Stderr, "campaign: %d cells: %d ok, %d failed, %d timeout\n",
 		s.Total, s.OK, s.Failed, s.Timeout)
+	return 0
 }

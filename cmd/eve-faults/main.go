@@ -29,6 +29,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/sim"
 	"repro/internal/sweep"
+	"repro/internal/telemetry"
 	"repro/internal/workloads"
 )
 
@@ -64,6 +65,13 @@ func summarize(rep *faults.Report) string {
 }
 
 func main() {
+	os.Exit(run())
+}
+
+// run is the command body. The named return keeps every exit on the return
+// path, so deferred telemetry flushes (profiler, status server, run log)
+// always happen — including on the SIGINT partial-report exit.
+func run() (code int) {
 	seed := flag.Int64("seed", 1, "campaign seed; same seed, same report")
 	n := flag.Int("n", 32, "EVE parallelization factor (1,2,4,8,16,32)")
 	kernels := flag.String("kernels", "", "comma-separated kernel names (default: whole suite)")
@@ -76,7 +84,23 @@ func main() {
 	maxCycles := flag.Int("max-uprog-cycles", 0, "per-micro-program watchdog budget (0: default)")
 	verify := flag.Bool("verify-baseline", true, "require the fault-free baseline to reproduce the golden run")
 	out := flag.String("o", "", "write the JSON report to this file instead of stdout")
+	statusAddr := flag.String("status", "", "serve live /status, /metrics and /debug/pprof/ on this address (e.g. 127.0.0.1:8321; default off)")
+	logJSON := flag.String("log-json", "", "append one JSON line per lifecycle event to this file (\"-\" for stderr)")
+	prof := telemetry.NewProfiler(flag.CommandLine)
 	flag.Parse()
+
+	if err := prof.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "eve-faults:", err)
+		return 2
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "eve-faults:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}()
 
 	suite := workloads.Small()
 	if *full {
@@ -85,12 +109,12 @@ func main() {
 	ks, err := selectKernels(suite, *kernels)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "eve-faults:", err)
-		os.Exit(2)
+		return 2
 	}
 	kindList, err := faults.ParseKinds(*kinds)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "eve-faults:", err)
-		os.Exit(2)
+		return 2
 	}
 
 	// ^C / SIGTERM cancels the campaign through the sweep context: finished
@@ -112,13 +136,48 @@ func main() {
 	if *progress {
 		cfg.Observer = sweep.NewProgress(os.Stderr)
 	}
+	// The telemetry chain wraps the progress printer; observers by contract
+	// never touch a Result, so enabling them cannot change a report byte.
+	var logger *telemetry.Logger
+	if *logJSON != "" {
+		logOut := io.Writer(os.Stderr)
+		if *logJSON != "-" {
+			lf, err := os.OpenFile(*logJSON, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "eve-faults:", err)
+				return 2
+			}
+			defer func() { _ = lf.Close() }()
+			logOut = lf
+		}
+		logger = telemetry.NewLogger(logOut, cfg.Observer)
+		cfg.Observer = logger
+		stopWatch := telemetry.WatchSignals(logger, os.Interrupt, syscall.SIGTERM)
+		defer stopWatch()
+		defer func() {
+			if err := logger.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "eve-faults: run log:", err)
+			}
+		}()
+	}
+	if *statusAddr != "" {
+		counters := telemetry.NewCounters(cfg.Observer)
+		cfg.Observer = counters
+		srv, err := telemetry.Serve(*statusAddr, counters)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "eve-faults:", err)
+			return 2
+		}
+		defer func() { _ = srv.Close() }()
+		fmt.Fprintf(os.Stderr, "telemetry: serving http://%s/status\n", srv.Addr())
+	}
 	fmt.Fprintf(os.Stderr, "injecting %d sites x %d kernels on %s (seed %d, %d workers)...\n",
 		*sites, len(ks), cfg.System.Name(), *seed, *parallel)
 
 	rep, err := faults.Run(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "eve-faults:", err)
-		os.Exit(1)
+		return 1
 	}
 
 	w := io.Writer(os.Stdout)
@@ -127,23 +186,24 @@ func main() {
 		f, err = os.Create(*out)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "eve-faults:", err)
-			os.Exit(1)
+			return 1
 		}
 		w = f
 	}
 	if err := emitReport(w, rep); err != nil {
 		fmt.Fprintln(os.Stderr, "eve-faults:", err)
-		os.Exit(1)
+		return 1
 	}
 	if f != nil {
 		if err := f.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "eve-faults:", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	fmt.Fprintln(os.Stderr, summarize(rep))
 	if ctx.Err() != nil {
 		fmt.Fprintln(os.Stderr, "eve-faults: interrupted; the report above covers only the cells that finished")
-		os.Exit(130)
+		return 130
 	}
+	return 0
 }

@@ -30,6 +30,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/sweep"
+	"repro/internal/telemetry"
 	"repro/internal/workloads"
 )
 
@@ -187,12 +188,35 @@ func emitJSON(w io.Writer, results [][]sim.Result) error {
 }
 
 func main() {
+	os.Exit(run())
+}
+
+// run is the command body. The named return keeps every exit on the return
+// path, so deferred telemetry flushes (profiler, status server, run log)
+// always happen — including on the SIGINT partial-flush exit.
+func run() (code int) {
 	exp := flag.String("exp", "all", "experiment to regenerate (table1..4, fig1..8, energy, area, all)")
 	small := flag.Bool("small", false, "use reduced workload sizes")
 	asJSON := flag.Bool("json", false, "emit the raw result matrix as JSON instead of rendered tables")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep worker goroutines (results are identical at any count)")
 	progress := flag.Bool("progress", false, "report per-cell progress and wall time on stderr")
+	statusAddr := flag.String("status", "", "serve live /status, /metrics and /debug/pprof/ on this address (e.g. 127.0.0.1:8321; default off)")
+	logJSON := flag.String("log-json", "", "append one JSON line per lifecycle event to this file (\"-\" for stderr)")
+	prof := telemetry.NewProfiler(flag.CommandLine)
 	flag.Parse()
+
+	if err := prof.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "eve-figures:", err)
+		return 2
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "eve-figures:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}()
 
 	static := map[string]func() string{
 		"table1": report.TableI,
@@ -210,11 +234,11 @@ func main() {
 	which := strings.ToLower(*exp)
 	if f, ok := static[which]; ok {
 		fmt.Println(f())
-		return
+		return 0
 	}
 	if !needsMatrix[which] {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", which)
-		os.Exit(2)
+		return 2
 	}
 
 	kernels := workloads.Default()
@@ -239,6 +263,42 @@ func main() {
 	if *progress {
 		opts.Observer = sweep.NewProgress(os.Stderr)
 	}
+	// The telemetry chain wraps the progress printer; observers by contract
+	// never touch a Result, so enabling them cannot change any emitted table
+	// or JSON byte.
+	var logger *telemetry.Logger
+	if *logJSON != "" {
+		logOut := io.Writer(os.Stderr)
+		if *logJSON != "-" {
+			f, err := os.OpenFile(*logJSON, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "eve-figures:", err)
+				return 2
+			}
+			defer func() { _ = f.Close() }()
+			logOut = f
+		}
+		logger = telemetry.NewLogger(logOut, opts.Observer)
+		opts.Observer = logger
+		stopWatch := telemetry.WatchSignals(logger, os.Interrupt, syscall.SIGTERM)
+		defer stopWatch()
+		defer func() {
+			if err := logger.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "eve-figures: run log:", err)
+			}
+		}()
+	}
+	if *statusAddr != "" {
+		counters := telemetry.NewCounters(opts.Observer)
+		opts.Observer = counters
+		srv, err := telemetry.Serve(*statusAddr, counters)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "eve-figures:", err)
+			return 2
+		}
+		defer func() { _ = srv.Close() }()
+		fmt.Fprintf(os.Stderr, "telemetry: serving http://%s/status\n", srv.Addr())
+	}
 	results, err := sweep.Matrix(systems, kernels, opts)
 	interrupted := ctx.Err() != nil
 	if interrupted {
@@ -247,27 +307,27 @@ func main() {
 	if *asJSON {
 		if err := emitJSON(os.Stdout, results); err != nil {
 			fmt.Fprintln(os.Stderr, "eve-figures:", err)
-			os.Exit(1)
+			return 1
 		}
 		if interrupted {
-			os.Exit(130)
+			return 130
 		}
 		if n, msgs := countFailures(results); n > 0 {
 			fmt.Fprintf(os.Stderr, "eve-figures: %d cells failed validation:\n", n)
 			for _, m := range msgs {
 				fmt.Fprintln(os.Stderr, " ", m)
 			}
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	if interrupted {
 		// Tables over a partial matrix would render misleading numbers.
-		os.Exit(130)
+		return 130
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "VALIDATION FAILURE: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	geo := func(kernel string) bool {
 		k, err := workloads.ByName(kernels, kernel)
@@ -289,10 +349,11 @@ func main() {
 			fmt.Println(out[name]())
 		}
 		fmt.Println(report.AreaNormalized(systems, results, geo))
-		return
+		return 0
 	}
 	fmt.Println(out[which]())
 	if which == "fig6" {
 		fmt.Println(report.AreaNormalized(systems, results, geo))
 	}
+	return 0
 }

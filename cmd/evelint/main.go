@@ -1,8 +1,7 @@
 // Command evelint is the project's static-analysis gate: it runs the
-// internal/lint analyzer suite (simpurity, maporder, paramlit, errdrop,
-// hotalloc)
-// over type-checked packages and fails on any finding that is not
-// annotated with an //evelint:allow directive.
+// internal/lint analyzer suite (simpurity, probepurity, maporder, paramlit,
+// errdrop, hotalloc, telemetryboundary) over type-checked packages and fails
+// on any finding that is not annotated with an //evelint:allow directive.
 //
 // It speaks the `go vet -vettool` protocol, so the canonical invocation is
 //

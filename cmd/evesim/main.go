@@ -19,6 +19,7 @@ import (
 
 	"repro/eve"
 	"repro/internal/probe"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -30,16 +31,26 @@ func main() {
 
 // run is the command body, parameterized for tests. Output goes through a
 // bufio.Writer so per-line write errors latch and surface once at Flush.
-func run(args []string, stdout io.Writer) error {
+// The named return lets the deferred profiler flush report its error.
+func run(args []string, stdout io.Writer) (err error) {
 	fs := flag.NewFlagSet("evesim", flag.ContinueOnError)
 	sysName := fs.String("system", "O3+EVE-8", "system to simulate (IO, O3, O3+IV, O3+DV, O3+EVE-{1,2,4,8,16,32})")
 	kernel := fs.String("kernel", "vvadd", "benchmark kernel (vvadd, mmult, k-means, pathfinder, jacobi-2d, backprop, sw)")
 	baseline := fs.String("baseline", "IO", "baseline system for the speedup report (empty to skip)")
 	statsFmt := fs.String("stats", "", "dump the per-component stats registry: text or json")
 	statsFilter := fs.String("stats-filter", "", "restrict the -stats dump to one dotted-path subtree (e.g. l2.mshr. or eve.breakdown.)")
+	prof := telemetry.NewProfiler(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := prof.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		if perr := prof.Stop(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 
 	if *statsFmt != "" && *statsFmt != "text" && *statsFmt != "json" {
 		return fmt.Errorf("unknown -stats format %q (want text or json)", *statsFmt)

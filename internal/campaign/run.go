@@ -39,8 +39,14 @@ type RunConfig struct {
 	// FsyncEvery syncs the journal every N appends; ≤ 1 syncs every append.
 	FsyncEvery int
 	// Observer, if set, sees per-cell progress (cells carry Label() as
-	// their system column).
+	// their system column). An observer that also implements
+	// sweep.RetryObserver sees per-attempt retries.
 	Observer sweep.Observer
+	// OnJournal, if set, is called after every successful journal append
+	// with the journal's record count (resumed records included). It is a
+	// host-telemetry hook: it observes checkpoint depth and must not block
+	// or touch campaign state.
+	OnJournal func(depth int)
 	// Context cancels the campaign: in-flight cells finish and are
 	// journaled, pending cells are skipped, and Run returns
 	// *InterruptedError. Nil means never cancelled.
@@ -134,14 +140,16 @@ func makeRecord(p Params, r sim.Result) Record {
 // cancels the campaign: continuing without a checkpoint would silently
 // void the crash-safety contract.
 type journalObserver struct {
-	j      *Journal
-	params []Params // pending cells by sweep index
-	inner  sweep.Observer
-	cancel context.CancelFunc
+	j         *Journal
+	params    []Params // pending cells by sweep index
+	inner     sweep.Observer
+	cancel    context.CancelFunc
+	onJournal func(depth int)
 
-	mu   sync.Mutex
-	recs map[string]Record
-	err  error
+	mu    sync.Mutex
+	recs  map[string]Record
+	depth int // journal records written, resumed records included
+	err   error
 }
 
 func (o *journalObserver) CellStart(i int, kernel, system string) {
@@ -152,17 +160,36 @@ func (o *journalObserver) CellStart(i int, kernel, system string) {
 
 func (o *journalObserver) CellDone(i, done, total int, r sim.Result, wall time.Duration) {
 	rec := makeRecord(o.params[i], r)
+	appended := false
 	o.mu.Lock()
 	o.recs[rec.Cell] = rec
 	if o.j != nil {
-		if err := o.j.Append(rec); err != nil && o.err == nil {
-			o.err = err
-			o.cancel()
+		if err := o.j.Append(rec); err != nil {
+			if o.err == nil {
+				o.err = err
+				o.cancel()
+			}
+		} else {
+			o.depth++
+			appended = true
 		}
 	}
+	depth := o.depth
 	o.mu.Unlock()
+	if appended && o.onJournal != nil {
+		o.onJournal(depth)
+	}
 	if o.inner != nil {
 		o.inner.CellDone(i, done, total, r, wall)
+	}
+}
+
+// CellRetry implements sweep.RetryObserver by forwarding: retries are not
+// journaled (only settled outcomes are), but a telemetry observer behind
+// the journal still gets to count them.
+func (o *journalObserver) CellRetry(i int, kernel, system string, attempt int, err error) {
+	if ro, ok := o.inner.(sweep.RetryObserver); ok {
+		ro.CellRetry(i, kernel, system, attempt, err)
 	}
 }
 
@@ -198,8 +225,9 @@ func Run(cfg RunConfig) (*Report, error) {
 	// last-record-wins semantics, so a journal that (legitimately) holds a
 	// timeout record followed by the resumed run's ok record settles on ok.
 	var (
-		journal *Journal
-		settled = make(map[string]Record)
+		journal    *Journal
+		settled    = make(map[string]Record)
+		priorDepth int
 	)
 	if cfg.Journal != "" {
 		var err error
@@ -209,6 +237,7 @@ func Run(cfg RunConfig) (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
+			priorDepth = len(prior)
 			for _, r := range prior {
 				i, ok := index[r.Cell]
 				if !ok {
@@ -245,11 +274,13 @@ func Run(cfg RunConfig) (*Report, error) {
 	ctx, cancel := context.WithCancel(cfgContext(cfg))
 	defer cancel()
 	obs := &journalObserver{
-		j:      journal,
-		params: make([]Params, len(pending)),
-		inner:  cfg.Observer,
-		cancel: cancel,
-		recs:   make(map[string]Record, len(pending)),
+		j:         journal,
+		params:    make([]Params, len(pending)),
+		inner:     cfg.Observer,
+		cancel:    cancel,
+		onJournal: cfg.OnJournal,
+		recs:      make(map[string]Record, len(pending)),
+		depth:     priorDepth,
 	}
 	cells := make([]sweep.Cell, len(pending))
 	for slot, i := range pending {

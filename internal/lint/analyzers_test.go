@@ -69,3 +69,15 @@ func TestHotallocColdPath(t *testing.T) {
 	linttest.Run(t, lint.Hotalloc, "repro/internal/report",
 		filepath.Join("testdata", "hotalloc", "cold"))
 }
+
+func TestTelemetryboundaryRestricted(t *testing.T) {
+	linttest.RunDeps(t, lint.Telemetryboundary, "repro/internal/sim",
+		filepath.Join("testdata", "telemetryboundary", "restricted"),
+		linttest.Dep{Path: "repro/internal/telemetry", Dir: filepath.Join("testdata", "telemetryboundary", "telemetry")})
+}
+
+func TestTelemetryboundaryUnrestricted(t *testing.T) {
+	linttest.RunDeps(t, lint.Telemetryboundary, "repro/internal/report",
+		filepath.Join("testdata", "telemetryboundary", "unrestricted"),
+		linttest.Dep{Path: "repro/internal/telemetry", Dir: filepath.Join("testdata", "telemetryboundary", "telemetry")})
+}

@@ -22,6 +22,10 @@
 //     composite literals, closures, interface boxing) on the per-cycle paths
 //     of the simulation models — the hot roots of internal/mem, internal/cpu,
 //     internal/vengine and internal/uprog plus everything they reach.
+//   - telemetryboundary: simulator packages never import the host telemetry
+//     layer (internal/telemetry) — live status, pprof and run logs observe
+//     the simulator through sweep.Observer, keeping the import graph
+//     one-directional so host state cannot reach simulated results.
 //
 // The API deliberately mirrors golang.org/x/tools/go/analysis (Analyzer,
 // Pass, Diagnostic) so the suite could be rebased onto the upstream
@@ -82,7 +86,7 @@ type Diagnostic struct {
 }
 
 // Analyzers is the evelint suite in reporting order.
-var Analyzers = []*Analyzer{Simpurity, Probepurity, Maporder, Paramlit, Errdrop, Hotalloc}
+var Analyzers = []*Analyzer{Simpurity, Probepurity, Maporder, Paramlit, Errdrop, Hotalloc, Telemetryboundary}
 
 // Reportf reports a diagnostic unless an //evelint:allow comment on the
 // same line (or the line above, for a full-line comment) suppresses it.

@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"strconv"
+	"strings"
+)
+
+// TelemetryboundaryPackages are the simulator packages that must never see
+// host telemetry: the model stack (sim, cpu, mem, vengine, uprog, sram,
+// circuits) plus the workload definitions it executes. internal/telemetry
+// is the host-observability layer — wall clocks, HTTP servers, pprof — and
+// every one of its facilities is impure by design. The only sanctioned
+// coupling is the reverse one: telemetry observes simulator packages
+// through the sweep.Observer seam, so an import in this direction is
+// always a layering bug, never a judgment call.
+var TelemetryboundaryPackages = []string{
+	"repro/internal/sim",
+	"repro/internal/cpu",
+	"repro/internal/mem",
+	"repro/internal/vengine",
+	"repro/internal/uprog",
+	"repro/internal/sram",
+	"repro/internal/circuits",
+	"repro/internal/workloads",
+}
+
+// telemetryPkg is the root of the forbidden import cone; subpackages are
+// covered too.
+const telemetryPkg = "repro/internal/telemetry"
+
+// Telemetryboundary enforces the host/simulator import boundary: simulator
+// packages must not import repro/internal/telemetry (or any subpackage).
+// The telemetry layer reads wall clocks and serves HTTP by design, so any
+// value flowing from it into a simulation would break the bit-identical
+// sweep contract the other purity analyzers defend; keeping the import
+// graph one-directional makes that impossible rather than merely linted.
+var Telemetryboundary = &Analyzer{
+	Name: "telemetryboundary",
+	Doc: "forbid simulator packages from importing the host telemetry layer " +
+		"(repro/internal/telemetry)",
+	Run: runTelemetryboundary,
+}
+
+func runTelemetryboundary(pass *Pass) error {
+	if !anyPkgMatches(pass.Pkg.Path(), TelemetryboundaryPackages) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		// Test files are NOT exempt, unlike the purity analyzers: a test
+		// importing telemetry would still force the package's build to link
+		// the host layer and invites the dependency to creep into non-test
+		// code in review.
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path != telemetryPkg && !strings.HasPrefix(path, telemetryPkg+"/") {
+				continue
+			}
+			pass.Reportf(imp.Pos(), "simulator package %s imports host telemetry package %s: "+
+				"the telemetry layer is impure by design (wall clocks, HTTP, pprof) and must "+
+				"observe the simulator through sweep.Observer, never the other way around",
+				pass.Pkg.Path(), path)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,10 @@
+// Package telemetry is a stand-in for repro/internal/telemetry so the
+// fixtures can import it without the linttest helper needing the real
+// package's export data.
+package telemetry
+
+// Counters mirrors the shape the fixtures reference.
+type Counters struct{}
+
+// NewCounters mirrors the real constructor.
+func NewCounters() *Counters { return &Counters{} }

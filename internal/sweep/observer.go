@@ -16,10 +16,12 @@ import (
 // reports how far it got instead of going silent. Progress serializes writes
 // internally, so a single Progress may observe any number of workers.
 type Progress struct {
-	mu    sync.Mutex
-	w     io.Writer
-	start time.Time
-	busy  time.Duration // summed per-cell wall time (CPU-side work)
+	mu       sync.Mutex
+	w        io.Writer
+	start    time.Time
+	busy     time.Duration // summed per-cell wall time (CPU-side work)
+	retried  int           // re-attempts scheduled (CellRetry events)
+	timedOut int           // cells whose final outcome was a watchdog timeout
 }
 
 // NewProgress returns a Progress writing to w. The construction timestamp
@@ -40,12 +42,32 @@ func (p *Progress) CellDone(i, done, total int, r sim.Result, wall time.Duration
 	status := fmt.Sprintf("%d cycles", r.Cycles)
 	if r.Err != nil {
 		status = "FAILED: " + r.Err.Error()
+		if IsTimeout(r.Err) {
+			p.timedOut++
+		}
+	}
+	// The ETA extrapolates the observed cells/sec over the remaining cells.
+	// It is display-only wall-clock telemetry and never reaches a Result.
+	eta := ""
+	elapsed := time.Since(p.start) //evelint:allow simpurity -- progress telemetry, not simulated state
+	if done > 0 && done < total && elapsed > 0 {
+		remaining := time.Duration(float64(elapsed) / float64(done) * float64(total-done))
+		eta = fmt.Sprintf(" eta %s", remaining.Round(time.Second))
 	}
 	// Progress lines are best-effort: a broken progress pipe must not abort
 	// a long sweep, so write errors are deliberately ignored.
 	//evelint:allow errdrop -- best-effort progress output; a failed write must not kill the sweep
-	fmt.Fprintf(p.w, "[%d/%d] %-11s %-10s %s (%.2fs)\n",
-		done, total, r.Kernel, r.System, status, wall.Seconds())
+	fmt.Fprintf(p.w, "[%d/%d] %-11s %-10s %s (%.2fs)%s\n",
+		done, total, r.Kernel, r.System, status, wall.Seconds(), eta)
+}
+
+// CellRetry implements RetryObserver: retries are counted for the summary
+// but deliberately not printed per-event — the retried cell's final
+// CellDone line already tells the story.
+func (p *Progress) CellRetry(i int, kernel, system string, attempt int, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.retried++
 }
 
 // SweepDone implements Observer: the end-of-sweep summary, emitted whether
@@ -62,7 +84,11 @@ func (p *Progress) SweepDone(done, total int) {
 	if done != total {
 		head = fmt.Sprintf("sweep: stopped after %d/%d cells", done, total)
 	}
+	tail := ""
+	if p.retried > 0 || p.timedOut > 0 {
+		tail = fmt.Sprintf(", %d retried, %d timed out", p.retried, p.timedOut)
+	}
 	//evelint:allow errdrop -- best-effort progress output; a failed write must not kill the sweep
-	fmt.Fprintf(p.w, "%s in %.2fs wall (%.2fs of simulation, %.1fx overlap)\n",
-		head, elapsed.Seconds(), p.busy.Seconds(), overlap)
+	fmt.Fprintf(p.w, "%s in %.2fs wall (%.2fs of simulation, %.1fx overlap%s)\n",
+		head, elapsed.Seconds(), p.busy.Seconds(), overlap, tail)
 }

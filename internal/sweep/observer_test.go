@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -104,6 +105,102 @@ func TestProgressZeroElapsedOverlap(t *testing.T) {
 	if s := buf.String(); strings.Contains(s, "NaN") || strings.Contains(s, "Inf") {
 		t.Errorf("degenerate summary rendered a non-finite overlap: %q", s)
 	}
+}
+
+// TestProgressCellLineETA: an in-flight sweep's cell lines extrapolate an
+// ETA from observed throughput; the final cell's line omits it.
+func TestProgressCellLineETA(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf)
+	p.start = time.Now().Add(-10 * time.Second) // 1 cell per 10s observed
+	p.CellDone(0, 1, 3, sim.Result{Kernel: "a", System: "s", Cycles: 1}, time.Millisecond)
+	line := lastLine(buf.String())
+	if !strings.Contains(line, " eta ") {
+		t.Errorf("mid-sweep cell line %q lacks an ETA", line)
+	}
+	// 2 cells remain at ~10s/cell.
+	if !strings.Contains(line, "eta 20s") {
+		t.Errorf("cell line %q, want ~20s ETA from the observed rate", line)
+	}
+	buf.Reset()
+	p.CellDone(1, 3, 3, sim.Result{Kernel: "c", System: "s", Cycles: 1}, time.Millisecond)
+	if line := lastLine(buf.String()); strings.Contains(line, "eta") {
+		t.Errorf("final cell line %q still renders an ETA", line)
+	}
+}
+
+// TestProgressSummaryRetryTimeoutCounts: the end-of-sweep summary reports
+// retry and timeout counts when any occurred, and stays terse otherwise.
+func TestProgressSummaryRetryTimeoutCounts(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf)
+	p.CellRetry(0, "a", "s", 1, errors.New("transient"))
+	p.CellRetry(0, "a", "s", 2, errors.New("transient"))
+	te := &TimeoutError{Kernel: "b", System: "s", Budget: time.Second}
+	p.CellDone(0, 1, 2, sim.Result{Kernel: "a", System: "s", Cycles: 1}, time.Millisecond)
+	p.CellDone(1, 2, 2, sim.Result{Kernel: "b", System: "s", Err: te}, time.Second)
+	p.SweepDone(2, 2)
+	sum := lastLine(buf.String())
+	if !strings.Contains(sum, "2 retried, 1 timed out") {
+		t.Errorf("summary = %q, want retry/timeout counts", sum)
+	}
+
+	buf.Reset()
+	q := NewProgress(&buf)
+	q.CellDone(0, 1, 1, sim.Result{Kernel: "a", System: "s", Cycles: 1}, time.Millisecond)
+	q.SweepDone(1, 1)
+	if sum := lastLine(buf.String()); strings.Contains(sum, "retried") {
+		t.Errorf("clean sweep summary %q mentions retries", sum)
+	}
+}
+
+// TestForEachFiresCellRetry drives RetryObserver through the pool: a
+// deterministic failure under RetryOnce must announce exactly one
+// re-attempt per failing cell, with the provoking error.
+func TestForEachFiresCellRetry(t *testing.T) {
+	type retry struct {
+		i       int
+		attempt int
+		err     string
+	}
+	var (
+		mu      sync.Mutex
+		retries []retry
+	)
+	obs := &retryRecorder{onRetry: func(i, attempt int, err error) {
+		mu.Lock()
+		retries = append(retries, retry{i, attempt, err.Error()})
+		mu.Unlock()
+	}}
+	cells := []Cell{
+		{Kernel: "ok", System: "s", Run: func() sim.Result {
+			return sim.Result{Kernel: "ok", System: "s", Cycles: 1}
+		}},
+		{Kernel: "bad", System: "s", Run: func() sim.Result {
+			return sim.Result{Kernel: "bad", System: "s", Err: errors.New("boom")}
+		}},
+	}
+	if _, err := ForEach(cells, Options{Workers: 2, RetryOnce: true, Observer: obs}); err == nil {
+		t.Fatal("sweep with a failing cell returned nil error")
+	}
+	if len(retries) != 1 {
+		t.Fatalf("%d retries observed, want 1: %+v", len(retries), retries)
+	}
+	if retries[0].i != 1 || retries[0].attempt != 1 || retries[0].err != "boom" {
+		t.Errorf("retry = %+v, want cell 1 attempt 1 err boom", retries[0])
+	}
+}
+
+// retryRecorder is a minimal RetryObserver for pool-level tests.
+type retryRecorder struct {
+	onRetry func(i, attempt int, err error)
+}
+
+func (r *retryRecorder) CellStart(int, string, string)                     {}
+func (r *retryRecorder) CellDone(int, int, int, sim.Result, time.Duration) {}
+func (r *retryRecorder) SweepDone(int, int)                                {}
+func (r *retryRecorder) CellRetry(i int, kernel, system string, attempt int, err error) {
+	r.onRetry(i, attempt, err)
 }
 
 // lastLine returns the final non-empty line of s.

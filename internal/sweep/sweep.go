@@ -71,6 +71,13 @@ func (e *TimeoutError) Error() string {
 	return fmt.Sprintf("sweep: %s on %s exceeded the %v per-cell wall-clock budget", e.Kernel, e.System, e.Budget)
 }
 
+// IsTimeout reports whether err is (or wraps) a watchdog *TimeoutError, so
+// observers can classify a cell's final outcome without unwrapping by hand.
+func IsTimeout(err error) bool {
+	var te *TimeoutError
+	return errors.As(err, &te)
+}
+
 // Observer receives sweep progress events. CellStart and CellDone are
 // invoked from worker goroutines, possibly concurrently; implementations
 // must be safe for concurrent use.
@@ -89,6 +96,17 @@ type Observer interface {
 	// actually completed. It is the hook for final summaries that must not
 	// vanish when a sweep stops early.
 	SweepDone(done, total int)
+}
+
+// RetryObserver is the optional extension an Observer may implement to see
+// per-attempt retries. CellRetry fires from the worker goroutine right
+// before attempt (1-based count of re-attempts) is scheduled, carrying the
+// error that provoked it; like the other observer hooks it may fire
+// concurrently across cells and must be safe for concurrent use. Observers
+// that don't implement it simply see the cell's final CellDone.
+type RetryObserver interface {
+	Observer
+	CellRetry(i int, kernel, system string, attempt int, err error)
 }
 
 // RetryPolicy bounds re-running failed cell attempts. Deterministic
@@ -213,7 +231,7 @@ func ForEach(cells []Cell, opts Options) ([]sim.Result, error) {
 				// Wall time here is observer telemetry only — it never touches
 				// a Result, so the determinism contract is unaffected.
 				start := time.Now() //evelint:allow simpurity -- progress telemetry, not simulated state
-				r := runAttempts(ctx, c, opts)
+				r := runAttempts(ctx, i, c, opts)
 				out[i] = r
 				if r.Err != nil {
 					aborted.Store(true)
@@ -278,16 +296,22 @@ func Matrix(systems []sim.Config, kernels []*workloads.Kernel, opts Options) ([]
 	return out, err
 }
 
-// runAttempts runs one cell to its final outcome: the first attempt plus up
+// runAttempts runs cell i to its final outcome: the first attempt plus up
 // to Retry.Max re-attempts with deterministic backoff, each attempt bounded
 // by the wall-clock watchdog. The last attempt's result stands. Cancellation
-// stops further retries but never abandons the attempt in flight.
-func runAttempts(ctx context.Context, c Cell, opts Options) sim.Result {
+// stops further retries but never abandons the attempt in flight. Each
+// scheduled re-attempt is announced to the observer first, if it implements
+// RetryObserver.
+func runAttempts(ctx context.Context, i int, c Cell, opts Options) sim.Result {
 	policy := opts.retry()
+	retryObs, _ := opts.Observer.(RetryObserver)
 	r := runCellBounded(c, opts.CellTimeout)
 	for attempt := 1; r.Err != nil && attempt <= policy.Max && ctx.Err() == nil; attempt++ {
 		if policy.Retryable != nil && !policy.Retryable(r.Err) {
 			break
+		}
+		if retryObs != nil {
+			retryObs.CellRetry(i, c.Kernel, c.System, attempt, r.Err)
 		}
 		if policy.Backoff > 0 {
 			// Deterministic exponential backoff: Backoff << (attempt-1). The

@@ -1,0 +1,125 @@
+package telemetry_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/telemetry"
+)
+
+// e2eSpace is a small but real campaign space: every cell runs the actual
+// simulator.
+func e2eSpace() campaign.Space {
+	return campaign.Space{
+		Kernels: []string{"vvadd"},
+		Scales:  []int{256},
+		N:       []int{1, 8},
+		L2Ways:  []int{4, 8},
+	}
+}
+
+// runCampaign executes the space and returns the marshaled report plus the
+// raw journal bytes.
+func runCampaign(t *testing.T, cfg campaign.RunConfig) ([]byte, []byte) {
+	t.Helper()
+	rep, err := campaign.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	journal, err := os.ReadFile(cfg.Journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body, journal
+}
+
+// TestCampaignByteIdentityWithTelemetry is the determinism invariant end to
+// end: a campaign observed by the full telemetry stack — counters, JSON run
+// log, live status server, journal-depth hook — produces a byte-identical
+// report and journal to an unobserved run. Workers=1 keeps the journal's
+// completion order deterministic so it can be byte-compared too.
+func TestCampaignByteIdentityWithTelemetry(t *testing.T) {
+	dir := t.TempDir()
+
+	bare := campaign.RunConfig{
+		Space:   e2eSpace(),
+		Journal: filepath.Join(dir, "bare.journal"),
+		Workers: 1,
+	}
+	wantReport, wantJournal := runCampaign(t, bare)
+
+	var logBuf bytes.Buffer
+	logger := telemetry.NewLogger(&logBuf, nil)
+	counters := telemetry.NewCounters(logger)
+	srv, err := telemetry.Serve("127.0.0.1:0", counters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+
+	observed := campaign.RunConfig{
+		Space:    e2eSpace(),
+		Journal:  filepath.Join(dir, "observed.journal"),
+		Workers:  1,
+		Observer: counters,
+		OnJournal: func(depth int) {
+			counters.SetJournalDepth(depth)
+			logger.JournalCheckpoint(depth)
+		},
+	}
+	gotReport, gotJournal := runCampaign(t, observed)
+
+	if !bytes.Equal(gotReport, wantReport) {
+		t.Errorf("telemetry perturbed the campaign report:\n with:\n%s\n without:\n%s", gotReport, wantReport)
+	}
+	if !bytes.Equal(gotJournal, wantJournal) {
+		t.Errorf("telemetry perturbed the journal verdict stream:\n with:\n%s\n without:\n%s", gotJournal, wantJournal)
+	}
+
+	// The telemetry side genuinely observed the run.
+	resp, err := http.Get("http://" + srv.Addr() + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	var st telemetry.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Done != 4 || st.Total != 4 || !st.SweepDone {
+		t.Errorf("status = %+v, want a drained 4-cell campaign", st)
+	}
+	if st.JournalDepth != 4 {
+		t.Errorf("journal_depth = %d, want 4", st.JournalDepth)
+	}
+	if err := logger.Err(); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Count(logBuf.Bytes(), []byte{'\n'})
+	// 4 cell_start + 4 cell_done + 4 journal_checkpoint + 1 sweep_done.
+	if lines != 13 {
+		t.Errorf("%d run-log lines, want 13:\n%s", lines, logBuf.String())
+	}
+	var mresp *http.Response
+	if mresp, err = http.Get("http://" + srv.Addr() + "/metrics"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = mresp.Body.Close() }()
+	metrics, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(metrics, []byte(`eve_probe_stat{kernel="vvadd"`)) {
+		t.Errorf("/metrics lacks the probe snapshot of the last cell:\n%s", metrics)
+	}
+}

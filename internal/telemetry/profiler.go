@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+)
+
+// Profiler is the uniform profile-capture wiring shared by every CLI.
+// Register it on a FlagSet, Start it after flag parsing, and defer Stop —
+// Stop is idempotent, so a signal-cancelled run that unwinds through both
+// its defer and an explicit shutdown path still flushes valid pprof files
+// exactly once.
+type Profiler struct {
+	cpuPath    *string
+	memPath    *string
+	profileDir *string
+
+	mu      sync.Mutex
+	started bool
+	cpuFile *os.File
+	memOut  string
+	stop    sync.Once
+	stopErr error
+}
+
+// NewProfiler registers -cpuprofile, -memprofile, and -profile-dir on fs
+// and returns the Profiler that will honor them. -profile-dir is shorthand
+// for capturing both profiles as <dir>/cpu.pprof and <dir>/mem.pprof;
+// explicit -cpuprofile/-memprofile paths win over it.
+func NewProfiler(fs *flag.FlagSet) *Profiler {
+	p := &Profiler{}
+	p.cpuPath = fs.String("cpuprofile", "", "write a CPU profile to this file")
+	p.memPath = fs.String("memprofile", "", "write an allocation profile to this file on exit")
+	p.profileDir = fs.String("profile-dir", "", "write cpu.pprof and mem.pprof into this directory (shorthand for both profile flags)")
+	return p
+}
+
+// cpuOut and memOutPath resolve the effective output paths after flag
+// parsing; empty means the corresponding capture is off.
+func (p *Profiler) cpuOut() string {
+	if *p.cpuPath != "" {
+		return *p.cpuPath
+	}
+	if *p.profileDir != "" {
+		return filepath.Join(*p.profileDir, "cpu.pprof")
+	}
+	return ""
+}
+
+func (p *Profiler) memOutPath() string {
+	if *p.memPath != "" {
+		return *p.memPath
+	}
+	if *p.profileDir != "" {
+		return filepath.Join(*p.profileDir, "mem.pprof")
+	}
+	return ""
+}
+
+// Start begins the captures the parsed flags asked for. With no profile
+// flags set it is a no-op, so CLIs call it unconditionally.
+func (p *Profiler) Start() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.started {
+		return nil
+	}
+	if dir := *p.profileDir; dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("telemetry: profile dir: %w", err)
+		}
+	}
+	if out := p.cpuOut(); out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return fmt.Errorf("telemetry: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			_ = f.Close()
+			return fmt.Errorf("telemetry: cpu profile: %w", err)
+		}
+		p.cpuFile = f
+	}
+	p.memOut = p.memOutPath()
+	p.started = true
+	return nil
+}
+
+// Stop flushes every active capture: it stops the CPU profile and, if
+// requested, writes an allocation profile after a forced GC so the numbers
+// reflect live state. Safe to call multiple times and from deferred paths;
+// only the first call does work.
+func (p *Profiler) Stop() error {
+	p.stop.Do(func() {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		if !p.started {
+			return
+		}
+		if p.cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := p.cpuFile.Close(); err != nil && p.stopErr == nil {
+				p.stopErr = fmt.Errorf("telemetry: cpu profile: %w", err)
+			}
+			p.cpuFile = nil
+		}
+		if p.memOut != "" {
+			if err := writeAllocProfile(p.memOut); err != nil && p.stopErr == nil {
+				p.stopErr = err
+			}
+		}
+	})
+	return p.stopErr
+}
+
+// writeAllocProfile writes the allocs profile to path after a GC pass.
+func writeAllocProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("telemetry: mem profile: %w", err)
+	}
+	runtime.GC()
+	if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("telemetry: mem profile: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("telemetry: mem profile: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// pprofMagic checks the gzip magic bytes every runtime/pprof output file
+// starts with; the CI telemetry-smoke job does the full
+// `go tool pprof -top` parse.
+func pprofMagic(t *testing.T, path string) {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("profile missing: %v", err)
+	}
+	defer func() { _ = f.Close() }()
+	var magic [2]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		t.Fatalf("profile %s unreadable: %v", path, err)
+	}
+	if magic[0] != 0x1f || magic[1] != 0x8b {
+		t.Errorf("profile %s does not start with the gzip magic (got % x)", path, magic)
+	}
+}
+
+func TestProfilerProfileDir(t *testing.T) {
+	dir := t.TempDir()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	p := NewProfiler(fs)
+	if err := fs.Parse([]string{"-profile-dir", filepath.Join(dir, "prof")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has samples to encode.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent: the deferred second Stop of a signal-cancelled CLI.
+	if err := p.Stop(); err != nil {
+		t.Fatalf("second Stop: %v", err)
+	}
+	pprofMagic(t, filepath.Join(dir, "prof", "cpu.pprof"))
+	pprofMagic(t, filepath.Join(dir, "prof", "mem.pprof"))
+}
+
+func TestProfilerExplicitPathsWinOverDir(t *testing.T) {
+	dir := t.TempDir()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	p := NewProfiler(fs)
+	cpu := filepath.Join(dir, "explicit-cpu.pprof")
+	if err := fs.Parse([]string{"-cpuprofile", cpu, "-profile-dir", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.cpuOut(); got != cpu {
+		t.Errorf("cpuOut = %q, want the explicit path %q", got, cpu)
+	}
+	if got := p.memOutPath(); got != filepath.Join(dir, "mem.pprof") {
+		t.Errorf("memOutPath = %q, want the -profile-dir fallback", got)
+	}
+}
+
+func TestProfilerNoFlagsIsNoop(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	p := NewProfiler(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfilerStopBeforeStart(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	p := NewProfiler(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Stop(); err != nil {
+		t.Fatalf("Stop before Start: %v", err)
+	}
+}
