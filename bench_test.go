@@ -339,6 +339,25 @@ func BenchmarkSimRunTracedNil(b *testing.B) {
 	b.ReportMetric(float64(r.Cycles), "cycles")
 }
 
+// BenchmarkSimRunIntervals measures sim.Run with interval sampling on (a
+// window that captures a handful of samples per run). The delta against
+// BenchmarkSimRunProbeOff is the whole price of the time axis — the nil-
+// sampler fast path itself must not move, which is the probe-off/interval
+// pair CI and the identity tests pin.
+func BenchmarkSimRunIntervals(b *testing.B) {
+	k := workloads.NewVVAdd(1 << 13)
+	cfg := sim.Config{Kind: sim.SysO3EVE, N: 8, Interval: 512}
+	var r sim.Result
+	for i := 0; i < b.N; i++ {
+		r = sim.Run(cfg, k)
+	}
+	if r.Err != nil {
+		b.Fatal(r.Err)
+	}
+	b.ReportMetric(float64(r.Cycles), "cycles")
+	b.ReportMetric(float64(len(r.Intervals.Samples)), "windows")
+}
+
 // BenchmarkMemoryHierarchy measures the raw simulator throughput of the
 // timed cache model (simulator engineering, not paper data).
 func BenchmarkMemoryHierarchy(b *testing.B) {

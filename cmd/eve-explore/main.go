@@ -97,6 +97,7 @@ func run() (code int) {
 	retries := flag.Int("retries", 1, "re-runs per cell after a recoverable failure")
 	backoff := flag.Duration("backoff", 0, "base retry delay, doubled per attempt (deterministic, no jitter)")
 	fsyncEvery := flag.Int("fsync-every", 1, "fsync the journal every N records (1: every record)")
+	interval := flag.Int64("interval", 0, "sample each cell's stats registry every N simulated cycles; feeds the /metrics eve_probe_window_* section, never the report or journal (0: off)")
 	progress := flag.Bool("progress", false, "report per-cell progress and wall time on stderr")
 	statusAddr := flag.String("status", "", "serve live /status, /metrics and /debug/pprof/ on this address (e.g. 127.0.0.1:8321; default off)")
 	logJSON := flag.String("log-json", "", "append one JSON line per lifecycle event to this file (\"-\" for stderr)")
@@ -145,6 +146,7 @@ func run() (code int) {
 		Retries:     *retries,
 		Backoff:     *backoff,
 		FsyncEvery:  *fsyncEvery,
+		Interval:    *interval,
 		Context:     ctx,
 	}
 

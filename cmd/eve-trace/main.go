@@ -8,6 +8,8 @@
 //	eve-trace -n=8 -kernel=pathfinder -limit=40
 //	eve-trace -n=1 -kernel=mmult -csv > trace.csv
 //	eve-trace -system=O3+EVE-8 -kernel=vvadd -elems=256 -perfetto -o trace.json
+//	eve-trace -system=O3+EVE-8 -kernel=vvadd -elems=256 -perfetto -interval=500 -o trace.json
+//	eve-trace -system=O3+EVE-8 -kernel=vvadd -interval=1000 > intervals.json
 package main
 
 import (
@@ -30,8 +32,9 @@ type options struct {
 	system   string // system name (sim.AllSystems naming); empty = O3+EVE-n
 	n        int    // EVE parallelization factor when system is empty
 	kernel   string
-	elems    int // nonzero: run vvadd at this element count instead of Small()
-	limit    int // max timeline lines in text/CSV output (0 = all)
+	elems    int   // nonzero: run vvadd at this element count instead of Small()
+	limit    int   // max timeline lines in text/CSV output (0 = all)
+	interval int64 // nonzero: sample the stats registry every N cycles
 	csv      bool
 	perfetto bool
 }
@@ -42,6 +45,10 @@ func run(opts options, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if opts.interval < 0 {
+		return fmt.Errorf("-interval must be non-negative, got %d", opts.interval)
+	}
+	cfg.Interval = opts.interval
 	k, err := resolveKernel(opts)
 	if err != nil {
 		return err
@@ -54,7 +61,14 @@ func run(opts options, w io.Writer) error {
 	}
 
 	if opts.perfetto {
-		return probe.WritePerfetto(w, res.System+" "+res.Kernel, col.Events)
+		// With -interval the trace grows counter tracks: windowed miss
+		// rates, Fig 7 shares and gauges as curves beside the event tracks.
+		return probe.WritePerfettoSeries(w, res.System+" "+res.Kernel, col.Events, res.Intervals)
+	}
+	if res.Intervals != nil {
+		// Interval dump without -perfetto: the bare deterministic JSON time
+		// series, ready for jq or a byte-diff.
+		return res.Intervals.WriteJSON(w)
 	}
 	return writeTimeline(w, opts, res, col.Events)
 }
@@ -133,12 +147,13 @@ func main() {
 	limit := flag.Int("limit", 50, "max trace lines to print (0 = all)")
 	csv := flag.Bool("csv", false, "machine-readable CSV output")
 	perfetto := flag.Bool("perfetto", false, "Chrome trace-event JSON output (load in ui.perfetto.dev)")
+	interval := flag.Int64("interval", 0, "sample the stats registry every N simulated cycles; adds counter tracks to -perfetto, or dumps the series as JSON on its own (0: off)")
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 
 	opts := options{
 		system: *system, n: *n, kernel: *kernel, elems: *elems,
-		limit: *limit, csv: *csv, perfetto: *perfetto,
+		limit: *limit, interval: *interval, csv: *csv, perfetto: *perfetto,
 	}
 	var w io.Writer = os.Stdout
 	var f *os.File

@@ -136,3 +136,98 @@ func TestResolveSystemRejectsUnknown(t *testing.T) {
 		t.Error("-elems with a non-vvadd kernel was accepted")
 	}
 }
+
+// TestIntervalJSONDump covers -interval without -perfetto: the bare series as
+// deterministic JSON, windows tiling the run, and the reconfiguration pair.
+func TestIntervalJSONDump(t *testing.T) {
+	opts := tinyOpts()
+	opts.perfetto = false
+	opts.interval = 500
+	var a, b bytes.Buffer
+	if err := run(opts, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(opts, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two identical interval dumps produced different bytes")
+	}
+	var series struct {
+		Window  int64 `json:"window"`
+		Samples []struct {
+			Start int64 `json:"start"`
+			End   int64 `json:"end"`
+		} `json:"samples"`
+		Reconfigs []struct {
+			Event string `json:"event"`
+			Ways  int    `json:"ways"`
+		} `json:"reconfigs"`
+	}
+	if err := json.Unmarshal(a.Bytes(), &series); err != nil {
+		t.Fatalf("interval dump is not valid JSON: %v\n%s", err, a.String())
+	}
+	if series.Window != 500 || len(series.Samples) == 0 {
+		t.Fatalf("window %d with %d samples, want 500 with >=1", series.Window, len(series.Samples))
+	}
+	prevEnd := int64(0)
+	for i, sm := range series.Samples {
+		if sm.Start != prevEnd {
+			t.Errorf("sample %d starts at %d, want %d (windows must tile)", i, sm.Start, prevEnd)
+		}
+		prevEnd = sm.End
+	}
+	var borrow, ret bool
+	for _, ev := range series.Reconfigs {
+		borrow = borrow || (ev.Event == "borrow" && ev.Ways == 4)
+		ret = ret || (ev.Event == "return" && ev.Ways == 4)
+	}
+	if !borrow || !ret {
+		t.Errorf("timeline lacks the 4-way borrow/return pair:\n%s", a.String())
+	}
+}
+
+// TestIntervalPerfettoCounterTracks checks the combined export: -perfetto
+// -interval must add "C" counter events for the windowed curves while keeping
+// the trace a valid Chrome trace-event document.
+func TestIntervalPerfettoCounterTracks(t *testing.T) {
+	opts := tinyOpts()
+	opts.interval = 200
+	var buf bytes.Buffer
+	if err := run(opts, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	counters := map[string]bool{}
+	for i, ev := range doc.TraceEvents {
+		if ev["ph"] != "C" {
+			continue
+		}
+		name, _ := ev["name"].(string)
+		counters[name] = true
+		for _, key := range []string{"ts", "pid", "args"} {
+			if _, ok := ev[key]; !ok {
+				t.Errorf("counter event %d (%s) missing %q", i, name, key)
+			}
+		}
+	}
+	for _, want := range []string{"l2.miss_rate", "eve.ways_owned", "eve.breakdown", "l2.ways_active"} {
+		if !counters[want] {
+			t.Errorf("trace is missing the %q counter track (have %v)", want, counters)
+		}
+	}
+}
+
+func TestIntervalFlagValidation(t *testing.T) {
+	opts := tinyOpts()
+	opts.interval = -1
+	var buf bytes.Buffer
+	if err := run(opts, &buf); err == nil {
+		t.Error("negative -interval was accepted")
+	}
+}

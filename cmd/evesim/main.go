@@ -4,7 +4,8 @@
 //
 //	evesim -system=O3+EVE-8 -kernel=pathfinder
 //	evesim -system=O3+DV -kernel=sw -baseline=IO
-//	evesim -system=O3+EVE-8 -kernel=vvadd -stats=text -stats-filter=l2.mshr.
+//	evesim -system=O3+EVE-8 -kernel=vvadd -stats=text -stats-filter=l2.mshr.,eve.breakdown.
+//	evesim -system=O3+EVE-8 -kernel=vvadd -intervals=2000
 package main
 
 import (
@@ -38,7 +39,8 @@ func run(args []string, stdout io.Writer) (err error) {
 	kernel := fs.String("kernel", "vvadd", "benchmark kernel (vvadd, mmult, k-means, pathfinder, jacobi-2d, backprop, sw)")
 	baseline := fs.String("baseline", "IO", "baseline system for the speedup report (empty to skip)")
 	statsFmt := fs.String("stats", "", "dump the per-component stats registry: text or json")
-	statsFilter := fs.String("stats-filter", "", "restrict the -stats dump to one dotted-path subtree (e.g. l2.mshr. or eve.breakdown.)")
+	statsFilter := fs.String("stats-filter", "", "restrict the -stats dump to a comma-separated list of dotted-path subtrees (e.g. l2.mshr.,eve.breakdown.)")
+	intervals := fs.Int64("intervals", 0, "sample the stats registry every N simulated cycles and append the interval time series as JSON (0: off)")
 	prof := telemetry.NewProfiler(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,10 +61,17 @@ func run(args []string, stdout io.Writer) (err error) {
 		return fmt.Errorf("-stats-filter requires -stats=text or -stats=json")
 	}
 
+	if *intervals < 0 {
+		return fmt.Errorf("-intervals must be non-negative, got %d", *intervals)
+	}
+
 	sys, err := parseSystem(*sysName)
 	if err != nil {
 		return err
 	}
+	// Sampling observes without perturbing, so only the reported target
+	// needs it; the baseline simulates the plain system.
+	sys = sys.WithIntervals(*intervals)
 	b, err := eve.BenchmarkByName(*kernel)
 	if err != nil {
 		return err
@@ -128,7 +137,7 @@ func run(args []string, stdout io.Writer) (err error) {
 	if *statsFmt != "" {
 		snap := res.Snapshot
 		if *statsFilter != "" {
-			snap = snap.Filter(*statsFilter)
+			snap = filterStats(snap, *statsFilter)
 			if len(snap) == 0 {
 				return fmt.Errorf("no stats match -stats-filter=%q (try -stats=text without a filter to list paths)", *statsFilter)
 			}
@@ -137,7 +146,35 @@ func run(args []string, stdout io.Writer) (err error) {
 			return err
 		}
 	}
+	if res.Intervals != nil {
+		fmt.Fprintf(w, "\nintervals (window %d cycles, %d samples):\n", res.Intervals.Window, len(res.Intervals.Samples))
+		if err := res.Intervals.WriteJSON(w); err != nil {
+			return err
+		}
+	}
 	return w.Flush()
+}
+
+// filterStats unions the sub-snapshots of a comma-separated prefix list.
+// Overlapping prefixes (eve.,eve.breakdown.) would duplicate entries, so the
+// merge re-sorts and dedups; the result preserves Stats' sorted invariant.
+func filterStats(s probe.Stats, spec string) probe.Stats {
+	var out probe.Stats
+	for _, prefix := range strings.Split(spec, ",") {
+		prefix = strings.TrimSpace(prefix)
+		if prefix == "" {
+			continue
+		}
+		out = append(out, s.Filter(prefix)...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	dedup := out[:0]
+	for i, st := range out {
+		if i == 0 || st.Name != out[i-1].Name {
+			dedup = append(dedup, st)
+		}
+	}
+	return dedup
 }
 
 // dumpStats renders the flattened registry snapshot deterministically: the

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+
+	"repro/internal/probe"
 )
 
 // TestStatsFilterCLISmoke drives the command body end to end: a real
@@ -63,5 +65,107 @@ func TestStatsFilterFlagValidation(t *testing.T) {
 	err := run([]string{"-system=IO", "-kernel=vvadd", "-baseline=", "-stats=text", "-stats-filter=nosuch."}, &out)
 	if err == nil || !strings.Contains(err.Error(), "no stats match") {
 		t.Errorf("absent filter prefix error = %v, want a 'no stats match' error", err)
+	}
+}
+
+// TestStatsFilterCommaList checks that -stats-filter unions several subtrees,
+// dedups an overlapping pair, and tolerates whitespace around the commas.
+func TestStatsFilterCommaList(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-system=IO", "-kernel=vvadd", "-baseline=", "-stats=json",
+		"-stats-filter=l2.mshr., core., core.insts"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	start := strings.IndexByte(text, '{')
+	if start < 0 {
+		t.Fatalf("no JSON object in output:\n%s", text)
+	}
+	var stats map[string]float64
+	if err := json.Unmarshal([]byte(text[start:]), &stats); err != nil {
+		t.Fatalf("stats JSON does not parse: %v\n%s", err, text)
+	}
+	var sawMSHR, sawCore bool
+	for name := range stats {
+		switch {
+		case strings.HasPrefix(name, "l2.mshr."):
+			sawMSHR = true
+		case strings.HasPrefix(name, "core."):
+			sawCore = true
+		default:
+			t.Errorf("key %q escaped the two requested subtrees", name)
+		}
+	}
+	if !sawMSHR || !sawCore {
+		t.Errorf("union missing a subtree (mshr %v, core %v):\n%s", sawMSHR, sawCore, text)
+	}
+	// The overlapping core./core.insts pair must not duplicate core.insts:
+	// a JSON object can't express the duplicate, so check the merge directly.
+	merged := filterStats(probe.Stats{
+		{Name: "core.insts", Kind: probe.KindCounter, Int: 1},
+		{Name: "core.stalls", Kind: probe.KindCounter, Int: 2},
+	}, "core., core.insts,, core.insts")
+	if len(merged) != 2 {
+		t.Errorf("overlapping prefixes merged to %d entries, want 2: %v", len(merged), merged)
+	}
+}
+
+// TestIntervalsFlagSmoke drives -intervals end to end: the dump must appear,
+// parse, and show the EVE-8 borrow/return pair with correct way counts.
+func TestIntervalsFlagSmoke(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-system=O3+EVE-8", "-kernel=vvadd", "-baseline=", "-intervals=2000"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	marker := "intervals (window 2000 cycles"
+	at := strings.Index(text, marker)
+	if at < 0 {
+		t.Fatalf("interval header missing from output:\n%s", text)
+	}
+	start := strings.IndexByte(text[at:], '{')
+	if start < 0 {
+		t.Fatalf("no JSON series after the interval header:\n%s", text)
+	}
+	var series struct {
+		Window  int64 `json:"window"`
+		Samples []struct {
+			Start  int64              `json:"start"`
+			End    int64              `json:"end"`
+			Deltas map[string]float64 `json:"deltas"`
+		} `json:"samples"`
+		Reconfigs []struct {
+			Event string `json:"event"`
+			Ways  int    `json:"ways"`
+			Owned int    `json:"owned"`
+		} `json:"reconfigs"`
+	}
+	if err := json.Unmarshal([]byte(text[at+start:]), &series); err != nil {
+		t.Fatalf("interval series does not parse: %v\n%s", err, text)
+	}
+	if series.Window != 2000 || len(series.Samples) == 0 {
+		t.Fatalf("series window %d with %d samples, want 2000 with >=1", series.Window, len(series.Samples))
+	}
+	var borrow, ret bool
+	for _, ev := range series.Reconfigs {
+		switch ev.Event {
+		case "borrow":
+			borrow = ev.Ways == 4 && ev.Owned == 4
+		case "return":
+			ret = ev.Ways == 4 && ev.Owned == 0
+		}
+	}
+	if !borrow || !ret {
+		t.Errorf("timeline lacks the borrow/return pair with 4 ways (borrow %v, return %v):\n%s",
+			borrow, ret, text[at:])
+	}
+}
+
+func TestIntervalsFlagValidation(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-intervals=-5"}, &out); err == nil {
+		t.Error("negative -intervals was accepted")
 	}
 }

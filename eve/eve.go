@@ -31,8 +31,9 @@ import (
 
 // System identifies a simulated system configuration (Table III).
 type System struct {
-	kind sim.Kind
-	n    int
+	kind     sim.Kind
+	n        int
+	interval int64
 }
 
 // The simulated systems.
@@ -69,7 +70,23 @@ func (s System) Name() string { return s.config().Name() }
 // IsEVE reports whether the system is an EVE design point.
 func (s System) IsEVE() bool { return s.kind == sim.SysO3EVE }
 
-func (s System) config() sim.Config { return sim.Config{Kind: s.kind, N: s.n} }
+func (s System) config() sim.Config {
+	return sim.Config{Kind: s.kind, N: s.n, Interval: s.interval}
+}
+
+// WithIntervals returns the same system with interval sampling enabled:
+// every window simulated cycles the run records per-component counter
+// deltas, gauge values and EVE reconfiguration events into
+// Result.Intervals. Sampling observes without perturbing — the simulated
+// outcome is byte-identical with or without it. A window ≤ 0 disables
+// sampling (the default).
+func (s System) WithIntervals(window int64) System {
+	if window < 0 {
+		window = 0
+	}
+	s.interval = window
+	return s
+}
 
 // AreaFactor reports the system's area relative to the bare O3 core
 // (§VII-B).
@@ -138,6 +155,10 @@ type Result struct {
 	// sorted entries supporting prefix queries (Snapshot.Filter("l2.")),
 	// typed lookups and the gem5-style text report. Stats is its Flatten.
 	Snapshot probe.Stats
+	// Intervals is the cycle-windowed time series — per-window counter
+	// deltas, gauges, and EVE's reconfiguration timeline — when the system
+	// was built with WithIntervals. Nil otherwise.
+	Intervals *probe.Series
 }
 
 // Derived computes the interpreted metric set for this result — per-level
@@ -173,6 +194,7 @@ func fromSimResult(r sim.Result) Result {
 		SpawnCost:        r.SpawnCost,
 		Stats:            r.Stats.Flatten(),
 		Snapshot:         r.Stats,
+		Intervals:        r.Intervals,
 	}
 	if r.Breakdown.Total() > 0 {
 		out.Breakdown = Breakdown{}

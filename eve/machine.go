@@ -35,18 +35,18 @@ func NewMachine(s System, memBytes int) *Machine {
 	}
 	m := &Machine{sys: s, flat: mem.NewFlat(memBytes), hier: mem.NewHierarchy()}
 	coreCfg := cpu.O3Config
-	if s == IO {
+	if s.kind == IO.kind {
 		coreCfg = cpu.IOConfig
 	}
 	m.core = cpu.New(coreCfg, m.hier)
 	hwvl := 1
 	switch {
-	case s == IO || s == O3:
+	case s.kind == IO.kind || s.kind == O3.kind:
 		// Scalar-only machine; vector intrinsics are rejected.
-	case s == O3IV:
+	case s.kind == O3IV.kind:
 		m.engine = vengine.NewIV(m.core)
 		hwvl = vengine.IVHWVL
-	case s == O3DV:
+	case s.kind == O3DV.kind:
 		m.engine = vengine.NewDV(vengine.DefaultDVConfig(), m.hier.L2)
 		hwvl = m.engine.HWVL()
 	default:
@@ -65,7 +65,8 @@ func NewMachine(s System, memBytes int) *Machine {
 func (m *Machine) spawnIfNeeded() {
 	if m.eveEng != nil && !m.spawned {
 		m.spawned = true
-		m.eveEng.Spawn(m.hier.SpawnEVE(), m.core.Now())
+		cost := m.hier.SpawnEVE()
+		m.eveEng.Spawn(cost, m.core.Now(), m.hier.L2.Ways()-m.hier.L2.ActiveWays())
 	}
 }
 
@@ -110,6 +111,12 @@ func (m *Machine) Finish() Result {
 		if d := m.engine.Drain(); d > cycles {
 			cycles = d
 		}
+	}
+	// Lifecycle symmetry with sim.run: a spawned engine hands its borrowed
+	// ways back once everything has drained.
+	if m.eveEng != nil && m.spawned {
+		m.hier.TeardownEVE()
+		m.eveEng.Teardown(cycles)
 	}
 	m.finished = true
 	r := Result{

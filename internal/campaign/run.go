@@ -47,6 +47,13 @@ type RunConfig struct {
 	// host-telemetry hook: it observes checkpoint depth and must not block
 	// or touch campaign state.
 	OnJournal func(depth int)
+	// Interval, when positive, turns on cycle-windowed interval sampling
+	// inside every cell (sim.Config.Interval). The time series feeds live
+	// telemetry only: it is never journaled or reported, and sampling
+	// leaves every simulated byte unchanged, so reports and journals stay
+	// byte-identical whatever Interval is — cell identities (Params.ID) do
+	// not depend on it.
+	Interval int64
 	// Context cancels the campaign: in-flight cells finish and are
 	// journaled, pending cells are skipped, and Run returns
 	// *InterruptedError. Nil means never cancelled.
@@ -287,6 +294,7 @@ func Run(cfg RunConfig) (*Report, error) {
 		p := all[i]
 		obs.params[slot] = p
 		scfg := p.SystemConfig(space.MaxUProgCycles)
+		scfg.Interval = cfg.Interval
 		cells[slot] = sweep.Cell{
 			Kernel: fmt.Sprintf("%s@%d", p.Kernel, p.Scale),
 			System: p.Label(),

@@ -85,6 +85,12 @@ func (c *Core) ProbeStats(s *probe.Scope) {
 	s.Dist("load_latency", c.loadLat)
 }
 
+// ProbeGauges implements probe.GaugeSource: how many operations the
+// reorder window holds in flight at cycle now.
+func (c *Core) ProbeGauges(s *probe.Scope, now int64) {
+	s.Counter("inflight", int64(c.inFlight))
+}
+
 // New returns a core over the given memory hierarchy.
 func New(cfg Config, mh *mem.Hierarchy) *Core {
 	return &Core{cfg: cfg, mh: mh}

@@ -114,6 +114,17 @@ type Engine struct {
 	vlDist        probe.DistValue // active vector length per instruction
 	linesDist     probe.DistValue // cachelines per memory macro-op
 
+	// Reconfiguration lifecycle: the engine's claim on borrowed L2 ways and
+	// the monotonic edge counters. waysOwned is instantaneous (a gauge);
+	// the counters are cumulative and identical whether or not an interval
+	// sampler watches them.
+	waysOwned    int
+	spawns       int64
+	teardowns    int64
+	waysBorrowed int64
+	waysReturned int64
+	sampler      *probe.Sampler // optional interval timeline; nil = off
+
 	// Per-run trace emitters; zero (disabled) unless SetTracer installs a
 	// tracer. The engine traces as three parallel tracks: the VSU timeline
 	// (phase attribution + instruction commits), the VMU request streams,
@@ -149,7 +160,29 @@ func (e *Engine) ProbeStats(s *probe.Scope) {
 	}
 	s.Dist("vl", e.vlDist)
 	s.Dist("vmu.lines_per_op", e.linesDist)
+	s.Counter("reconfig.spawns", e.spawns)
+	s.Counter("reconfig.teardowns", e.teardowns)
+	s.Counter("reconfig.ways_borrowed", e.waysBorrowed)
+	s.Counter("reconfig.ways_returned", e.waysReturned)
 }
+
+// ProbeGauges implements probe.GaugeSource: the engine's instantaneous
+// state per window — how many borrowed L2 ways it currently owns and how
+// full the VCU dispatch queue is.
+func (e *Engine) ProbeGauges(s *probe.Scope, now int64) {
+	s.Counter("ways_owned", int64(e.waysOwned))
+	occ := len(e.queue) - e.qHead
+	if occ > e.cfg.QueueDepth {
+		occ = e.cfg.QueueDepth
+	}
+	s.Counter("queue.occupancy", int64(occ))
+}
+
+// SetSampler attaches a per-run interval sampler (nil to disable); the
+// engine reports its reconfiguration edges — spawn, way borrow, way return,
+// teardown — onto the sampler's timeline. Attach before Spawn so the first
+// borrow lands on the timeline.
+func (e *Engine) SetSampler(s *probe.Sampler) { e.sampler = s }
 
 // New builds an engine issuing memory requests to the given LLC-side port.
 func New(cfg Config, llc mem.Level) *Engine {
@@ -205,14 +238,39 @@ func (e *Engine) activeArrays(vl int) int {
 
 // Spawn charges the L2 way-partition reconfiguration (§V-E) starting at
 // time `at` (when the spawning instruction reached the engine); no vector
-// work proceeds until the released ways are invalidated.
-func (e *Engine) Spawn(cost, at int64) {
+// work proceeds until the released ways are invalidated. ways is how many
+// L2 ways the partition handed over — the engine owns them until Teardown.
+func (e *Engine) Spawn(cost, at int64, ways int) {
 	e.spawnCost = cost
+	e.waysOwned = ways
+	e.spawns++
+	e.waysBorrowed += int64(ways)
 	e.vsu.Instant(probe.KPhase, "spawn", at)
+	e.vsu.Emit(probe.Event{Kind: probe.KReconfig, Name: "borrow", Begin: at, End: at, Aux: int64(ways)})
+	if e.sampler != nil {
+		e.sampler.Reconfig(probe.ReconfigEvent{Comp: "eve", Cycle: at, Event: "spawn", Owned: ways, Cost: cost})
+		e.sampler.Reconfig(probe.ReconfigEvent{Comp: "eve", Cycle: at, Event: "borrow", Ways: ways, Owned: ways})
+	}
 	e.advanceTo(at, EmptyStall)
 	e.advanceTo(e.clock+cost, Busy)
 	if e.vcu < e.clock {
 		e.vcu = e.clock
+	}
+}
+
+// Teardown ends the ephemeral lifetime at time `at`: the engine gives its
+// borrowed L2 ways back to the partition (the restore itself is free — the
+// returned ways re-enter the replacement set empty, §V-E) and records the
+// return edge. Call after the engine has drained.
+func (e *Engine) Teardown(at int64) {
+	returned := e.waysOwned
+	e.teardowns++
+	e.waysReturned += int64(returned)
+	e.waysOwned = 0
+	e.vsu.Emit(probe.Event{Kind: probe.KReconfig, Name: "return", Begin: at, End: at, Aux: int64(returned)})
+	if e.sampler != nil {
+		e.sampler.Reconfig(probe.ReconfigEvent{Comp: "eve", Cycle: at, Event: "return", Ways: returned, Owned: 0})
+		e.sampler.Reconfig(probe.ReconfigEvent{Comp: "eve", Cycle: at, Event: "teardown", Owned: 0})
 	}
 }
 

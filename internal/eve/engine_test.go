@@ -186,7 +186,7 @@ func TestMvXSBlocksCore(t *testing.T) {
 
 func TestSpawnCostCharged(t *testing.T) {
 	e, _ := newEngine(t, 8)
-	e.Spawn(500, 0)
+	e.Spawn(500, 0, 4)
 	e.Handle(&isa.Instr{Op: isa.OpSetVL, VL: 1}, 0)
 	if got := e.Drain(); got < 500 {
 		t.Errorf("engine time %d ignores spawn cost", got)

@@ -185,6 +185,25 @@ func (c *Cache) Name() string { return c.cfg.Name }
 // without reaching for the package-level Table III configs.
 func (c *Cache) Ways() int { return c.cfg.Ways }
 
+// ActiveWays reports the associativity currently available to the
+// replacement policy: the partition size while an EVE owns the rest,
+// the configured Ways otherwise.
+func (c *Cache) ActiveWays() int { return c.ways() }
+
+// ProbeGauges implements probe.GaugeSource: the level's instantaneous state
+// per window — live associativity (it shrinks while an EVE owns ways) and
+// how many MSHRs are still tracking in-flight misses at cycle now.
+func (c *Cache) ProbeGauges(s *probe.Scope, now int64) {
+	s.Counter("ways_active", int64(c.ways()))
+	var busy int64
+	for _, release := range c.mshrs {
+		if release > now {
+			busy++
+		}
+	}
+	s.Counter("mshr.occupancy", busy)
+}
+
 // Stats returns a snapshot of the counters.
 func (c *Cache) Stats() CacheStats { return c.stats }
 

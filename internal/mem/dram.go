@@ -33,6 +33,12 @@ func (d *DRAM) ProbeStats(s *probe.Scope) {
 	s.Float("bus.busy_cycles", d.busBusy)
 }
 
+// ProbeGauges implements probe.GaugeSource: posted writes still parked in
+// the controller's write buffer, waiting to steal a read's transfer slot.
+func (d *DRAM) ProbeGauges(s *probe.Scope, now int64) {
+	s.Counter("write_buffer", int64(d.pendingWrites))
+}
+
 // Table III DRAM parameters at a 1 GHz core clock: closed-page access
 // latency of single-channel DDR4-2400, and bus occupancy of one 64-byte
 // line at 19.2 GB/s.

@@ -1,0 +1,294 @@
+package probe
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// This file is the interval half of the probe layer: cycle-windowed
+// sampling of the stats registry. Where Snapshot answers "what happened
+// over the whole run", a Sampler answers "what happened in each window of
+// N cycles" — the time axis that makes EVE's ephemeral borrow/compute/
+// return lifecycle visible instead of averaged away.
+//
+// The same purity and zero-overhead contracts apply: a Sampler is a
+// per-run object owned by the caller (sim.Config carries the window, never
+// a global), and a nil sampler costs the simulation exactly one pointer
+// branch per instruction boundary. Sampling is read-only — it pulls the
+// registry exactly like an end-of-run Snapshot, so a sampled run's
+// simulated bytes are identical to an unsampled run's.
+
+// Delta returns the per-window difference of two snapshots taken from the
+// same registry, cur − prev. Counters subtract and must not run backwards:
+// a negative delta means a component's "monotonic" counter decreased, which
+// is a bug in that component, and Delta reports it as an error so every
+// sampled run doubles as an invariant tripwire. Distributions subtract
+// Count and Sum (Count is monotonicity-checked) and keep the cumulative
+// Min/Max, which windowed observers cannot recover. Float entries are
+// derived values (rates, ratios) rather than accumulators, so they pass
+// through at their current value.
+//
+// A nil or empty prev diffs against zero, so the first window's delta is
+// the snapshot itself. A name present in prev but missing from cur means a
+// source vanished mid-run and is reported as an error too.
+func (s Stats) Delta(prev Stats) (Stats, error) {
+	out := make(Stats, 0, len(s))
+	j := 0
+	for _, cur := range s {
+		for j < len(prev) && prev[j].Name < cur.Name {
+			return nil, fmt.Errorf("probe: stat %q disappeared between snapshots", prev[j].Name)
+		}
+		d := cur
+		if j < len(prev) && prev[j].Name == cur.Name {
+			p := prev[j]
+			j++
+			if p.Kind != cur.Kind {
+				return nil, fmt.Errorf("probe: stat %q changed kind between snapshots", cur.Name)
+			}
+			switch cur.Kind {
+			case KindCounter:
+				d.Int = cur.Int - p.Int
+				if d.Int < 0 {
+					return nil, fmt.Errorf("probe: counter %q ran backwards: %d -> %d",
+						cur.Name, p.Int, cur.Int)
+				}
+			case KindDist:
+				d.Dist.Count = cur.Dist.Count - p.Dist.Count
+				d.Dist.Sum = cur.Dist.Sum - p.Dist.Sum
+				if d.Dist.Count < 0 {
+					return nil, fmt.Errorf("probe: distribution %q count ran backwards: %d -> %d",
+						cur.Name, p.Dist.Count, cur.Dist.Count)
+				}
+			}
+		} else if cur.Kind == KindCounter && cur.Int < 0 {
+			return nil, fmt.Errorf("probe: counter %q ran backwards: 0 -> %d", cur.Name, cur.Int)
+		}
+		out = append(out, d)
+	}
+	if j < len(prev) {
+		return nil, fmt.Errorf("probe: stat %q disappeared between snapshots", prev[j].Name)
+	}
+	return out, nil
+}
+
+// GaugeSource is the optional second half of Source: a component that also
+// has instantaneous state worth plotting over time — live L2 way ownership,
+// MSHR occupancy, queue depth. ProbeGauges publishes the values as of cycle
+// now into the scope; like ProbeStats it must read, never mutate.
+type GaugeSource interface {
+	ProbeGauges(s *Scope, now int64)
+}
+
+// Gauges pulls every registered source that also implements GaugeSource and
+// returns the sorted instantaneous-value snapshot as of cycle now. Sources
+// without gauges simply contribute nothing; duplicate paths panic exactly
+// like Snapshot.
+func (r *Registry) Gauges(now int64) Stats {
+	var out []Stat
+	for i, src := range r.srcs {
+		g, ok := src.(GaugeSource)
+		if !ok {
+			continue
+		}
+		scope := &Scope{prefix: r.names[i] + ".", out: &out}
+		g.ProbeGauges(scope, now)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	for i := 1; i < len(out); i++ {
+		if out[i].Name == out[i-1].Name {
+			panic(fmt.Sprintf("probe: duplicate gauge path %q", out[i].Name))
+		}
+	}
+	return out
+}
+
+// ReconfigEvent is one explicit reconfiguration edge on the timeline: an
+// ephemeral engine spawning, borrowing cache ways, returning them, or
+// tearing down. Ways is the number of ways changing hands on this edge,
+// Owned the engine's ownership after it; Cost carries the spawn cost in
+// cycles where one applies.
+type ReconfigEvent struct {
+	Comp  string `json:"comp"`
+	Cycle int64  `json:"cycle"`
+	Event string `json:"event"` // "spawn", "borrow", "return", "teardown"
+	Ways  int    `json:"ways,omitempty"`
+	Owned int    `json:"owned"`
+	Cost  int64  `json:"cost,omitempty"`
+}
+
+// Sample is one window of the time series: the counter deltas accumulated
+// over [Start, End] and the gauge values observed at End. Windows tile the
+// run — each Start is the previous End, the first Start is 0 and the last
+// End is the run's final cycle — so summing any counter across all samples
+// reproduces its end-of-run snapshot value exactly.
+type Sample struct {
+	Start  int64
+	End    int64
+	Deltas Stats
+	Gauges Stats
+}
+
+// Series is a complete interval time series for one run: the window size
+// that drove sampling, the window samples in time order, and every
+// reconfiguration event, also in time order.
+type Series struct {
+	Window    int64
+	Samples   []Sample
+	Reconfigs []ReconfigEvent
+}
+
+// Sampler drives interval collection for one run. The caller ticks it at
+// instruction boundaries with the current cycle; whenever the clock crosses
+// the next window edge the sampler pulls the registry, diffs against the
+// previous snapshot, and records one Sample. Because the simulation is
+// event-driven, window edges land on the first instruction boundary at or
+// after each multiple of the window — a deterministic function of the run,
+// not of wall time.
+type Sampler struct {
+	reg     *Registry
+	window  int64
+	next    int64
+	prev    Stats
+	lastEnd int64
+	series  Series
+}
+
+// NewSampler returns a sampler over reg with the given window in cycles.
+func NewSampler(reg *Registry, window int64) *Sampler {
+	if window <= 0 {
+		panic("probe: sampler window must be positive")
+	}
+	return &Sampler{reg: reg, window: window, next: window, series: Series{Window: window}}
+}
+
+// Tick advances the sampler to cycle now, capturing a window if the clock
+// crossed its edge. The common case — no edge crossed — is a single compare.
+func (s *Sampler) Tick(now int64) {
+	if now < s.next {
+		return
+	}
+	s.capture(now)
+}
+
+// capture records one window ending at cycle now.
+func (s *Sampler) capture(now int64) {
+	snap := s.reg.Snapshot()
+	delta, err := snap.Delta(s.prev)
+	if err != nil {
+		panic(err.Error())
+	}
+	s.series.Samples = append(s.series.Samples, Sample{
+		Start:  s.lastEnd,
+		End:    now,
+		Deltas: delta,
+		Gauges: s.reg.Gauges(now),
+	})
+	s.prev = snap
+	s.lastEnd = now
+	s.next = (now/s.window + 1) * s.window
+}
+
+// Reconfig records one reconfiguration edge on the timeline.
+func (s *Sampler) Reconfig(ev ReconfigEvent) {
+	if s == nil {
+		return
+	}
+	s.series.Reconfigs = append(s.series.Reconfigs, ev)
+}
+
+// Finish closes the series at the run's final cycle, capturing the trailing
+// partial window so the samples tile the whole run, and returns the series.
+// Call it after the run has fully drained and torn down, immediately before
+// the end-of-run Snapshot: the last sample then diffs against the same
+// state the snapshot reports, which is what makes window sums reconcile
+// with it exactly. Even when the last tick already landed on the final
+// cycle, counters can still move after it — teardown bumps the engine's
+// reconfiguration counters at that same cycle — so Finish also captures a
+// zero-width trailing window whenever the registry advanced past the last
+// recorded snapshot.
+func (s *Sampler) Finish(end int64) *Series {
+	if end > s.lastEnd || len(s.series.Samples) == 0 || !statsEqual(s.reg.Snapshot(), s.prev) {
+		s.capture(end)
+	}
+	out := s.series
+	return &out
+}
+
+// statsEqual reports whether two snapshots are element-wise identical.
+func statsEqual(a, b Stats) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// jsonSample and jsonSeries are the wire shapes of the dump: stats flatten
+// to name→value maps, which json.Marshal renders with sorted keys, so the
+// dump is byte-deterministic like every other report in the tree.
+type jsonSample struct {
+	Start  int64              `json:"start"`
+	End    int64              `json:"end"`
+	Deltas map[string]float64 `json:"deltas"`
+	Gauges map[string]float64 `json:"gauges,omitempty"`
+}
+
+type jsonSeries struct {
+	Window    int64           `json:"window"`
+	Samples   []jsonSample    `json:"samples"`
+	Reconfigs []ReconfigEvent `json:"reconfigs,omitempty"`
+}
+
+// WriteJSON dumps the series as indented, byte-deterministic JSON.
+func (s *Series) WriteJSON(w io.Writer) error {
+	out := jsonSeries{Window: s.Window, Reconfigs: s.Reconfigs}
+	out.Samples = make([]jsonSample, len(s.Samples))
+	for i, sm := range s.Samples {
+		out.Samples[i] = jsonSample{
+			Start:  sm.Start,
+			End:    sm.End,
+			Deltas: sm.Deltas.Flatten(),
+		}
+		if len(sm.Gauges) > 0 {
+			out.Samples[i].Gauges = sm.Gauges.Flatten()
+		}
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// SumCounters folds every sample's counter deltas into one name→total map —
+// the reconciliation view: for each counter path the total equals the
+// end-of-run snapshot value.
+func (s *Series) SumCounters() map[string]int64 {
+	out := make(map[string]int64)
+	for _, sm := range s.Samples {
+		for _, st := range sm.Deltas {
+			if st.Kind == KindCounter {
+				out[st.Name] += st.Int
+			}
+		}
+	}
+	return out
+}
+
+// componentOf returns the dotted path minus its last segment.
+func componentOf(name string) string {
+	i := strings.LastIndexByte(name, '.')
+	if i < 0 {
+		return name
+	}
+	return name[:i]
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 )
 
 // WritePerfetto renders a traced run as Chrome trace-event JSON, the format
@@ -22,6 +23,24 @@ import (
 // paths, events keep their emission order, and json.Marshal sorts the args
 // maps — two identical runs produce byte-identical traces.
 func WritePerfetto(w io.Writer, process string, events []Event) error {
+	return WritePerfettoSeries(w, process, events, nil)
+}
+
+// WritePerfettoSeries renders the trace like WritePerfetto and, when an
+// interval series is given, appends counter ("C") events so the window
+// metrics draw as curves alongside the event tracks:
+//
+//   - a <comp>.miss_rate track per cache level, derived from each window's
+//     misses/accesses deltas;
+//   - one stacked eve.breakdown track carrying every Fig 7 category's
+//     window cycles, so the stall shares read directly off the plot;
+//   - one track per gauge (ways owned, MSHR occupancy, queue depth, ...);
+//   - extra points on the ways-owned track at every reconfiguration edge,
+//     so borrows and returns show as steps at their exact cycle.
+//
+// Counter values come from the deterministic series, so the extended trace
+// is byte-deterministic too.
+func WritePerfettoSeries(w io.Writer, process string, events []Event, series *Series) error {
 	const pid = 1
 	comps := make([]string, 0, 8)
 	seen := make(map[string]bool, 8)
@@ -113,6 +132,70 @@ func WritePerfetto(w io.Writer, process string, events []Event) error {
 			return err
 		}
 	}
+
+	if series != nil {
+		type counter struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Ts   int64          `json:"ts"`
+			Pid  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		}
+		point := func(name string, ts int64, args map[string]any) error {
+			return emit(counter{Name: name, Cat: "interval", Ph: "C", Ts: ts, Pid: pid, Args: args})
+		}
+		for _, sm := range series.Samples {
+			// Windowed miss-rate per cache level: every component with both
+			// an accesses and a misses counter in the window deltas.
+			for _, st := range sm.Deltas {
+				if st.Kind != KindCounter || !strings.HasSuffix(st.Name, ".accesses") {
+					continue
+				}
+				comp := componentOf(st.Name)
+				misses, ok := sm.Deltas.Int(comp + ".misses")
+				if !ok {
+					continue
+				}
+				rate := 0.0
+				if st.Int > 0 {
+					rate = float64(misses) / float64(st.Int)
+				}
+				if err := point(comp+".miss_rate", sm.End, map[string]any{"miss_rate": rate}); err != nil {
+					return err
+				}
+			}
+			// The Fig 7 attribution as one stacked counter track.
+			if bd := sm.Deltas.Filter("eve.breakdown."); len(bd) > 0 {
+				args := make(map[string]any, len(bd))
+				for _, st := range bd {
+					args[strings.TrimPrefix(st.Name, "eve.breakdown.")] = st.Int
+				}
+				if err := point("eve.breakdown", sm.End, args); err != nil {
+					return err
+				}
+			}
+			// Every gauge is its own track.
+			for _, st := range sm.Gauges {
+				var v any = st.Int
+				if st.Kind == KindFloat {
+					v = st.Float
+				}
+				if err := point(st.Name, sm.End, map[string]any{"value": v}); err != nil {
+					return err
+				}
+			}
+		}
+		// Reconfiguration edges add points to the ways-owned track at their
+		// exact cycles, so the borrow/return steps are sharp.
+		for _, ev := range series.Reconfigs {
+			err := point(ev.Comp+".ways_owned", ev.Cycle, map[string]any{"value": ev.Owned})
+			if err != nil {
+				return err
+			}
+		}
+	}
+
 	_, err := io.WriteString(w, "\n]}\n")
 	return err
 }

@@ -13,11 +13,12 @@ const (
 	KAccess                     // memory access span (cache hit/miss, DRAM burst)
 	KWriteback                  // dirty-line writeback
 	KStall                      // structural stall span (MSHR, bank)
+	KReconfig                   // reconfiguration edge (spawn, way borrow/return, teardown)
 	numEventKinds
 )
 
 var eventKindNames = [numEventKinds]string{
-	"instr", "dispatch", "phase", "access", "writeback", "stall",
+	"instr", "dispatch", "phase", "access", "writeback", "stall", "reconfig",
 }
 
 func (k EventKind) String() string {

@@ -43,6 +43,16 @@ type Config struct {
 	// only in the watchdog simulate the same system.
 	MaxUProgCycles int
 
+	// Interval, when positive, samples the stats registry every Interval
+	// simulated cycles into Result.Intervals — per-window counter deltas,
+	// gauges, and the EVE reconfiguration timeline. Sampling observes, it
+	// never perturbs: every simulated byte (cycles, breakdown, stats,
+	// memory image) is identical with Interval on or off, which the
+	// interval-identity tests enforce. Zero (the default) keeps the fast
+	// path: one pointer branch per instruction boundary. Like
+	// MaxUProgCycles it does not contribute to Name().
+	Interval int64
+
 	// Mem optionally overrides the Table III memory system — cache
 	// geometries, MSHR pools, bank counts, DRAM timings. Nil simulates the
 	// paper's hierarchy. Design-space exploration (internal/campaign) sweeps
@@ -135,6 +145,11 @@ type Result struct {
 	// run completes, so populating it costs nothing on the simulated path.
 	// Empty when the run aborted with a recovered SimError.
 	Stats probe.Stats
+	// Intervals is the cycle-windowed time series when Config.Interval was
+	// set: per-window counter deltas, end-of-window gauges, and the EVE
+	// reconfiguration timeline. Nil when sampling was off or the run
+	// aborted. Window sums reconcile exactly with Stats.
+	Intervals *probe.Series
 	// MemChecksum is the FNV-1a hash of the flat backing store after the run
 	// — the silent-data-corruption signal. Computed by RunTraced and
 	// RunDatapath (zero on a crash); plain Run leaves it zero to keep the
@@ -145,8 +160,9 @@ type Result struct {
 
 // sink couples the trace to a core and an optional vector engine.
 type sink struct {
-	core   *cpu.Core
-	engine vengine.Engine
+	core    *cpu.Core
+	engine  vengine.Engine
+	sampler *probe.Sampler // interval sampling; nil = the fast path
 }
 
 // Emit implements isa.Sink.
@@ -169,6 +185,12 @@ func (s *sink) Emit(ev isa.Event) {
 		if block := s.engine.Handle(ev.V, s.core.Now()); block > 0 {
 			s.core.AdvanceTo(block)
 		}
+	}
+	// Instruction boundaries are the interval clock: the simulation is
+	// event-driven, so this is the natural deterministic place to notice a
+	// window edge passing. Reading the clock perturbs nothing.
+	if s.sampler != nil {
+		s.sampler.Tick(s.core.Now())
 	}
 }
 
@@ -251,6 +273,7 @@ func run(cfg Config, k *workloads.Kernel, opts runOpts) (res Result) {
 			}
 			res.MemChecksum = 0
 			res.Stats = nil
+			res.Intervals = nil
 		}
 	}()
 
@@ -264,6 +287,13 @@ func run(cfg Config, k *workloads.Kernel, opts runOpts) (res Result) {
 	if opts.tracer != nil {
 		core.SetTracer(opts.tracer)
 		h.SetTracer(opts.tracer)
+	}
+
+	// The interval sampler is per-run like the registry it reads; nil keeps
+	// the instruction-boundary tick a single branch.
+	var sampler *probe.Sampler
+	if cfg.Interval > 0 {
+		sampler = probe.NewSampler(reg, cfg.Interval)
 	}
 
 	var engine vengine.Engine
@@ -295,12 +325,13 @@ func run(cfg Config, k *workloads.Kernel, opts runOpts) (res Result) {
 		if opts.tracer != nil {
 			eveEng.SetTracer(opts.tracer)
 		}
-		eveEng.Spawn(h.SpawnEVE(), 0)
+		eveEng.SetSampler(sampler)
+		spawnEVE(eveEng, h)
 		engine = eveEng
 		hwvl = eveEng.HWVL()
 	}
 
-	b := isa.NewBuilder(flat, max(hwvl, 1), &sink{core: core, engine: engine})
+	b := isa.NewBuilder(flat, max(hwvl, 1), &sink{core: core, engine: engine, sampler: sampler})
 	if opts.newDP != nil {
 		b.SetDatapath(opts.newDP(max(hwvl, 1)))
 	}
@@ -320,13 +351,31 @@ func run(cfg Config, k *workloads.Kernel, opts runOpts) (res Result) {
 		res.VMUStall = eveEng.VMUIssueStallFraction()
 		res.SpawnCost = eveEng.SpawnCost()
 		res.EnergyEq = eveEng.EnergyReadEq()
+		// The engine's ephemeral lifetime ends here: it returns its borrowed
+		// L2 ways to the partition. The restore itself changes no counters
+		// (returned ways come back invalid, §V-E), so the teardown runs
+		// unconditionally and the simulated bytes stay identical whether or
+		// not anyone watches the timeline.
+		h.TeardownEVE()
+		eveEng.Teardown(cycles)
 	}
 	res.LLC = h.LLC.Stats()
+	if sampler != nil {
+		res.Intervals = sampler.Finish(cycles)
+	}
 	res.Stats = reg.Snapshot()
 	if opts.checksum {
 		res.MemChecksum = flat.Checksum()
 	}
 	return res
+}
+
+// spawnEVE runs the engine's spawn reconfiguration against the hierarchy:
+// the L2 releases half its ways (charging the invalidation cost) and the
+// engine takes ownership of them.
+func spawnEVE(e *eve.Engine, h *mem.Hierarchy) {
+	cost := h.SpawnEVE()
+	e.Spawn(cost, 0, h.L2.Ways()-h.L2.ActiveWays())
 }
 
 // RunEVE simulates a kernel on O3+EVE with a custom engine configuration
@@ -345,7 +394,7 @@ func RunEVE(ecfg eve.Config, h *mem.Hierarchy, k *workloads.Kernel) Result {
 	reg.Register("core", core)
 	h.RegisterStats(reg)
 	reg.Register("eve", eveEng)
-	eveEng.Spawn(h.SpawnEVE(), 0)
+	spawnEVE(eveEng, h)
 
 	b := isa.NewBuilder(flat, eveEng.HWVL(), &sink{core: core, engine: eveEng})
 	check := k.Run(b, true)
@@ -361,6 +410,8 @@ func RunEVE(ecfg eve.Config, h *mem.Hierarchy, k *workloads.Kernel) Result {
 	res.VMUStall = eveEng.VMUIssueStallFraction()
 	res.SpawnCost = eveEng.SpawnCost()
 	res.EnergyEq = eveEng.EnergyReadEq()
+	h.TeardownEVE()
+	eveEng.Teardown(cycles)
 	res.LLC = h.LLC.Stats()
 	res.Stats = reg.Snapshot()
 	return res

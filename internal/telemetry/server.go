@@ -111,6 +111,7 @@ func (c *Counters) WriteMetrics(w *bytes.Buffer) {
 	wallSumNS := c.wallSumNS
 	last := c.last
 	lastStats := c.lastStats
+	lastWindow := c.lastWindow
 	c.mu.Unlock()
 
 	gauge := func(name, help string, v int64) {
@@ -154,6 +155,31 @@ func (c *Counters) WriteMetrics(w *bytes.Buffer) {
 		for _, name := range names {
 			fmt.Fprintf(w, "eve_probe_stat{kernel=%q,system=%q,stat=%q} %g\n",
 				labelEscape(last.Kernel), labelEscape(last.System), labelEscape(name), lastStats[name])
+		}
+	}
+
+	// The interval-sampled phase profile of the last completed cell that ran
+	// with sampling on (campaign -interval): window geometry plus the final
+	// window's per-path counter deltas — a live view of how the cell ended,
+	// not just what it totalled. The summary carries its own cell identity:
+	// an unsampled cell finishing later takes over eve_probe_stat but not
+	// this section.
+	if lastWindow != nil {
+		gauge("eve_probe_window_size", "Interval sampling window of the last sampled cell, in simulated cycles.", lastWindow.window)
+		gauge("eve_probe_window_samples", "Windows recorded for the last sampled cell.", int64(lastWindow.samples))
+		gauge("eve_probe_window_reconfig_events", "Reconfiguration events (spawn/borrow/return/teardown) on the last sampled cell's timeline.", int64(lastWindow.reconfigs))
+		if len(lastWindow.lastDeltas) > 0 {
+			fmt.Fprintf(w, "# HELP eve_probe_window_delta Final-window counter deltas of the last sampled cell (kernel %s, system %s).\n", lastWindow.kernel, lastWindow.system)
+			fmt.Fprintf(w, "# TYPE eve_probe_window_delta gauge\n")
+			names := make([]string, 0, len(lastWindow.lastDeltas))
+			for name := range lastWindow.lastDeltas {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				fmt.Fprintf(w, "eve_probe_window_delta{kernel=%q,system=%q,stat=%q} %g\n",
+					labelEscape(lastWindow.kernel), labelEscape(lastWindow.system), labelEscape(name), lastWindow.lastDeltas[name])
+			}
 		}
 	}
 

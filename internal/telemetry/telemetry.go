@@ -138,6 +138,22 @@ type Counters struct {
 	wallSumNS    int64
 	last         *CellSummary
 	lastStats    map[string]float64
+	lastWindow   *windowSummary
+}
+
+// windowSummary captures the interval time series of the last completed
+// cell that carried one, for the /metrics eve_probe_window_* section: the
+// window geometry and the final window's counter deltas — the cell's
+// closing phase profile. It carries its own cell identity because an
+// unsampled cell can complete later and take over c.last while this
+// summary stays current.
+type windowSummary struct {
+	kernel     string
+	system     string
+	window     int64
+	samples    int
+	reconfigs  int
+	lastDeltas map[string]float64
 }
 
 // NewCounters returns a Counters forwarding to inner (which may be nil).
@@ -178,6 +194,17 @@ func (c *Counters) CellDone(i, done, total int, r sim.Result, wall time.Duration
 	if len(r.Stats) > 0 {
 		flat = r.Stats.Flatten()
 	}
+	var win *windowSummary
+	if iv := r.Intervals; iv != nil && len(iv.Samples) > 0 {
+		win = &windowSummary{
+			kernel:     r.Kernel,
+			system:     r.System,
+			window:     iv.Window,
+			samples:    len(iv.Samples),
+			reconfigs:  len(iv.Reconfigs),
+			lastDeltas: iv.Samples[len(iv.Samples)-1].Deltas.Flatten(),
+		}
+	}
 
 	c.mu.Lock()
 	c.total = total
@@ -194,6 +221,9 @@ func (c *Counters) CellDone(i, done, total int, r sim.Result, wall time.Duration
 	c.last = &CellSummary{Kernel: r.Kernel, System: r.System, Status: status, Cycles: r.Cycles}
 	if flat != nil {
 		c.lastStats = flat
+	}
+	if win != nil {
+		c.lastWindow = win
 	}
 	c.mu.Unlock()
 

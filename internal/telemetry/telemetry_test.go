@@ -398,3 +398,56 @@ func BenchmarkSweepCellTelemetryCounters(b *testing.B) {
 		_, _ = sweep.ForEach(cells, sweep.Options{Workers: 1, Observer: c})
 	}
 }
+
+// TestMetricsWindowSection covers the interval-sampled slice of /metrics: a
+// cell that ran with sampling on publishes its window geometry, reconfig
+// count and final-window deltas; cells without a series leave the section out
+// but never erase the last sampled one.
+func TestMetricsWindowSection(t *testing.T) {
+	c := testCounters(nil)
+	c.CellStart(0, "vvadd", "O3+EVE-8")
+	r := sim.Result{
+		Kernel: "vvadd", System: "O3+EVE-8", Cycles: 4242,
+		Stats: probe.Stats{{Name: "core.insts", Kind: probe.KindCounter, Int: 99}},
+		Intervals: &probe.Series{
+			Window: 2000,
+			Samples: []probe.Sample{
+				{Start: 0, End: 2000, Deltas: probe.Stats{{Name: "l2.misses", Kind: probe.KindCounter, Int: 30}}},
+				{Start: 2000, End: 4242, Deltas: probe.Stats{{Name: "l2.misses", Kind: probe.KindCounter, Int: 7}}},
+			},
+			Reconfigs: []probe.ReconfigEvent{
+				{Comp: "eve", Cycle: 0, Event: "borrow", Ways: 4, Owned: 4},
+				{Comp: "eve", Cycle: 4242, Event: "return", Ways: 4, Owned: 0},
+			},
+		},
+	}
+	c.CellDone(0, 1, 2, r, 3*time.Millisecond)
+
+	var buf bytes.Buffer
+	c.WriteMetrics(&buf)
+	got := buf.String()
+	for _, want := range []string{
+		"eve_probe_window_size 2000",
+		"eve_probe_window_samples 2",
+		"eve_probe_window_reconfig_events 2",
+		`eve_probe_window_delta{kernel="vvadd",system="O3+EVE-8",stat="l2.misses"} 7`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, got)
+		}
+	}
+
+	// A later unsampled cell keeps the last sampled cell's window section —
+	// including its labels, which must not be rewritten to the new cell.
+	c.CellStart(1, "mmult", "IO")
+	c.CellDone(1, 2, 2, sim.Result{Kernel: "mmult", System: "IO", Cycles: 10}, time.Millisecond)
+	buf.Reset()
+	c.WriteMetrics(&buf)
+	got = buf.String()
+	if !strings.Contains(got, "eve_probe_window_size 2000") {
+		t.Error("unsampled cell erased the last sampled cell's window section")
+	}
+	if !strings.Contains(got, `eve_probe_window_delta{kernel="vvadd",system="O3+EVE-8",stat="l2.misses"} 7`) {
+		t.Errorf("window deltas lost their originating cell's labels:\n%s", got)
+	}
+}

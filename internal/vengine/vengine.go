@@ -175,6 +175,16 @@ func (d *DV) ProbeStats(s *probe.Scope) {
 	s.Counter("cycles", d.clock)
 }
 
+// ProbeGauges implements probe.GaugeSource: how full the decoupled unit's
+// dispatch queue is at cycle now.
+func (d *DV) ProbeGauges(s *probe.Scope, now int64) {
+	occ := len(d.queue) - d.qHead
+	if occ > d.cfg.QueueDepth {
+		occ = d.cfg.QueueDepth
+	}
+	s.Counter("queue.occupancy", int64(occ))
+}
+
 // HWVL implements Engine.
 func (d *DV) HWVL() int { return d.cfg.HWVL }
 
